@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+All figure benchmarks share one :class:`ExperimentContext` per preset so
+simulation cells (workload, policy) are computed once per session — the
+paper's figures reuse the same underlying runs.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The small HBM-style system, the default for every figure."""
+    return ExperimentContext(preset="small")
+
+
+@pytest.fixture(scope="session")
+def context_hmc():
+    """The HMC-style variant for Fig. 5(b)."""
+    return ExperimentContext(preset="small-hmc")
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

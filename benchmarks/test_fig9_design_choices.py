@@ -1,0 +1,65 @@
+"""Benchmark: Fig. 9 — the six design-choice sweeps.
+
+Asserted shapes per panel:
+(a) direct-mapped indirect caching loses little to 64-way;
+(b) the 1 kB affine block is within a few percent of the best size;
+(c) the affine-space restriction costs little vs unlimited;
+(d) performance is insensitive to the sampler set count;
+(e) full reconfiguration >= partial >= static is the dominant pattern;
+(f) longer reconfiguration intervals do not help.
+"""
+
+from conftest import once
+
+from repro.experiments import fig9
+
+
+def test_fig9a_associativity(benchmark, context):
+    result = once(benchmark, fig9.run_associativity, context)
+    # Higher associativity helps at most modestly (paper: minor gains,
+    # 10-20% only for graph workloads at 64-way).
+    assert max(result.values()) < 1.35
+    assert result["default"] == 1.0
+
+
+def test_fig9b_block_size(benchmark, context):
+    result = once(benchmark, fig9.run_block_size, context)
+    # 1 kB is within 10% of the best block size.
+    assert 1.0 >= min(result.values()) > 0.5
+    assert max(result.values()) < 1.10 / min(1.0, result["default"]) + 0.2
+
+
+def test_fig9c_affine_space(benchmark, context):
+    result = once(benchmark, fig9.run_affine_space, context)
+    # Unlimited affine space gains only a little over the default cap
+    # (paper: ~2%).
+    assert result["unlimited"] < 1.15
+    # Halving the cap costs little; quartering may start to hurt.
+    assert result["half"] > 0.85
+
+
+def test_fig9d_sampler_sets(benchmark, context):
+    result = once(benchmark, fig9.run_sampler_sets, context)
+    # Insensitive across the sweep (within ~15%).
+    assert max(result.values()) / min(result.values()) < 1.2
+
+
+def test_fig9e_reconfig_method(benchmark, context):
+    result = once(benchmark, fig9.run_reconfig_method, context)
+    for wname, row in result.items():
+        # Full reconfiguration is never beaten badly by partial/static.
+        # (On fully stationary traces freezing after warmup can edge out
+        # continued reconfiguration — see EXPERIMENTS.md.)
+        assert row["full"] >= row["partial"] * 0.85
+        assert row["full"] >= row["static"] * 0.90
+    # It clearly beats no-reconfiguration on the dynamic workloads...
+    assert any(row["full"] > 1.1 * row["static"] for row in result.values())
+    # ...and beats partial where the behaviour changes late (backprop's
+    # write phase).
+    assert any(row["full"] > row["partial"] for row in result.values())
+
+
+def test_fig9f_reconfig_interval(benchmark, context):
+    result = once(benchmark, fig9.run_reconfig_interval, context)
+    # Longer intervals never help by more than noise.
+    assert all(v < 1.08 for k, v in result.items() if k != "default")

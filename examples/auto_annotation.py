@@ -1,0 +1,65 @@
+"""Automatic stream annotation: running unannotated code on NDPExt.
+
+The paper requires manual ``configure_stream`` hints; automatic
+compiler-based annotation is deferred to future work.  This example
+demonstrates the trace-level annotator shipped in
+:mod:`repro.core.annotate`: it strips the manual annotations from a
+workload, recovers streams from the raw address trace (region detection,
+stride-vocabulary classification, element-size inference, read-only
+inference), and compares NDPExt's performance on the manual vs the
+recovered stream maps.
+
+Run:  python examples/auto_annotation.py
+"""
+
+from repro import sim, workloads
+from repro.core import NdpExtPolicy, annotate_workload, annotation_report, detect_streams
+from repro.util import render_table
+
+
+def main() -> None:
+    config = sim.small()
+    engine = sim.SimulationEngine(config)
+
+    rows = []
+    for name in ("pr", "hotspot", "recsys"):
+        manual = workloads.build(name, workloads.SMALL)
+        detected, regions = detect_streams(manual.trace)
+        report = annotation_report(manual, detected)
+        auto = annotate_workload(manual)
+
+        manual_run = engine.run(manual, NdpExtPolicy())
+        auto_run = engine.run(auto, NdpExtPolicy())
+        rows.append(
+            [
+                name,
+                manual.n_streams,
+                len(detected),
+                f"{report['coverage']:.2f}",
+                f"{report['kind_accuracy']:.2f}",
+                f"{manual_run.runtime_cycles / auto_run.runtime_cycles:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "workload",
+                "manual streams",
+                "detected",
+                "coverage",
+                "kind accuracy",
+                "auto/manual perf",
+            ],
+            rows,
+            title="Auto-annotation vs manual stream hints",
+        )
+    )
+    print(
+        "\nauto/manual perf ~1.0 means the recovered stream map delivers the\n"
+        "same NDPExt performance as hand annotation — the compiler pass the\n"
+        "paper defers to future work is feasible from traces alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: simulate one workload under NDPExt and a baseline.
+
+Builds the scaled-down NDP-with-extended-memory system, generates the
+PageRank workload with stream annotations, runs it under the full
+NDPExt policy and under Nexus (the strongest NUCA baseline), and prints
+the comparison the paper's Fig. 5 reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import sim, workloads
+from repro.baselines import NexusPolicy
+from repro.core import NdpExtPolicy
+from repro.util import render_table
+
+
+def main() -> None:
+    config = sim.small()
+    print(f"system: {config.n_units} NDP units, "
+          f"{config.total_cache_bytes // 1024} kB distributed cache, "
+          f"CXL link {config.cxl.link_ns:.0f} ns")
+
+    workload = workloads.build("pr", workloads.SMALL)
+    print(f"workload: {workload.summary()}\n")
+
+    engine = sim.SimulationEngine(config)
+    ndpext = engine.run(workload, NdpExtPolicy())
+    nexus = engine.run(workload, NexusPolicy())
+
+    rows = []
+    for report in (nexus, ndpext):
+        rows.append(
+            [
+                report.policy,
+                f"{report.runtime_cycles:.0f}",
+                f"{report.hits.cache_hit_rate:.3f}",
+                f"{report.avg_access_latency_ns:.1f}",
+                f"{report.avg_interconnect_ns:.1f}",
+                f"{report.energy.total_nj / 1e6:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "cycles", "hit rate", "avg latency ns", "interconnect ns", "energy mJ"],
+            rows,
+        )
+    )
+    print(f"\nNDPExt speedup over Nexus: {ndpext.speedup_over(nexus):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

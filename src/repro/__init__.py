@@ -1,0 +1,22 @@
+"""NDPExt reproduction: stream-based data placement for near-data
+processing with extended memory (MICRO 2024).
+
+Quickstart::
+
+    from repro import sim, workloads
+    from repro.core import NdpExtPolicy
+    from repro.baselines import NexusPolicy
+
+    config = sim.small()
+    engine = sim.SimulationEngine(config)
+    workload = workloads.build("pr")
+    report = engine.run(workload, NdpExtPolicy())
+    baseline = engine.run(workload, NexusPolicy())
+    print(report.speedup_over(baseline))
+"""
+
+from repro import baselines, core, sim, util, workloads
+
+__version__ = "1.0.0"
+
+__all__ = ["baselines", "core", "sim", "util", "workloads", "__version__"]

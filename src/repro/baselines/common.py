@@ -1,0 +1,445 @@
+"""Shared substrate for the cacheline-grained NUCA baselines.
+
+Jigsaw, Whirlpool, Nexus and static NUCA all manage the distributed DRAM
+cache at cacheline granularity.  Adapted to a DRAM cache (Section VI),
+they share three mechanisms implemented here:
+
+* **metadata path** — every cache access first consults per-unit metadata.
+  A 128 kB dual-granularity metadata cache (Bi-Modal style: one entry per
+  512 B block, data migrated at 64 B) filters most lookups; a metadata
+  miss costs a DRAM access at the home unit on the critical path.  This
+  is the cost NDPExt's coarse stream metadata eliminates.
+* **partitioned mapping** — lines are classified into partitions; each
+  partition owns rows on some units (possibly replicated across regions),
+  and a line hashes to a unit/set within its partition's copy.
+* **epoch reconfiguration with bulk invalidation** — partitions are
+  resized from sampled miss curves; any resized partition's contents are
+  dropped (prior work's bulk invalidation [6], [7]).
+
+Concrete baselines subclass :class:`PartitionedNucaPolicy` and override
+classification, sizing, placement, and replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sampler import SamplerParams
+from repro.core.stream_cache import (
+    _pair_keys,
+    pack_set_id,
+    unpack_set_idx,
+    unpack_unit,
+)
+from repro.sim.cachesim import _prev_in_group, direct_mapped_hits
+from repro.sim.engine import DramCachePolicy, ReconfigStats, RequestOutcome
+from repro.sim.params import CACHELINE_BYTES, SystemConfig
+from repro.sim.topology import Topology
+from repro.util.curves import LookaheadState, MissCurve
+from repro.util.hashing import mix64_array, weighted_bucket_array
+from repro.workloads.trace import Trace, Workload
+
+META_BLOCK_BYTES = 512
+META_ENTRY_BYTES = 4
+META_HIT_NS = 1.0
+
+
+@dataclass
+class RegionCopy:
+    """One replica of a partition: rows on a set of units."""
+
+    units: np.ndarray
+    rows: np.ndarray  # parallel to units
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.rows.sum())
+
+
+@dataclass
+class PartitionSpec:
+    """Where one partition's lines may live."""
+
+    pid: int
+    copies: list[RegionCopy] = field(default_factory=list)
+    read_only: bool = False
+
+    @property
+    def allocated(self) -> bool:
+        return any(c.total_rows > 0 for c in self.copies)
+
+    def signature(self) -> tuple:
+        return tuple(
+            (tuple(c.units.tolist()), tuple(c.rows.tolist())) for c in self.copies
+        )
+
+
+class MetadataCache:
+    """Per-unit dual-granularity metadata cache, simulated per epoch."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.entries = max(1, config.metadata_cache_bytes // META_ENTRY_BYTES)
+        self.dram_ns = config.ndp_dram.row_miss_ns
+
+    def lookup(self, req_unit: np.ndarray, addrs: np.ndarray) -> tuple[np.ndarray, int]:
+        """Returns (per-access metadata latency, number of DRAM metadata
+        accesses) for a batch of requests in trace order."""
+        meta_block = np.asarray(addrs, dtype=np.int64) // META_BLOCK_BYTES
+        slot = (
+            np.asarray(req_unit, dtype=np.int64) * self.entries
+            + (mix64_array(meta_block.astype(np.uint64), salt=3) % np.uint64(self.entries)).astype(np.int64)
+        )
+        hits = direct_mapped_hits(slot, meta_block)
+        latency = np.where(hits, META_HIT_NS, META_HIT_NS + self.dram_ns)
+        return latency, int((~hits).sum())
+
+
+class PartitionedNucaPolicy(DramCachePolicy):
+    """Base class for the cacheline NUCA baselines."""
+
+    name = "nuca"
+
+    def __init__(self, metadata_in_dram: bool = True) -> None:
+        # NDP baselines pay DRAM metadata cost; the host's SRAM LLC keeps
+        # tags on-chip and sets this False.
+        self.metadata_in_dram = metadata_in_dram
+        self._partitions: dict[int, PartitionSpec] = {}
+        self._signatures: dict[int, tuple] = {}
+        self._resident: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- subclass hooks -------------------------------------------------
+
+    def classify(self, epoch: Trace) -> np.ndarray:
+        """Partition id per request (>= 0).  Default: one big partition."""
+        return np.zeros(len(epoch), dtype=np.int64)
+
+    def reconfigure(self, epoch_idx: int) -> None:
+        """Update ``self._partitions``; default installs a static equal
+        interleave once (static NUCA)."""
+        if self._partitions:
+            return
+        self._partitions = {0: self._interleaved_partition(0)}
+
+    def observe(self, epoch_idx: int, epoch: Trace, pids: np.ndarray) -> None:
+        """Profiling hook after each epoch."""
+
+    # -- common machinery ------------------------------------------------
+
+    def setup(self, config: SystemConfig, topology: Topology, workload: Workload) -> None:
+        self.config = config
+        self.topology = topology
+        self.workload = workload
+        self.lines_per_row = max(1, config.ndp_dram.row_bytes // CACHELINE_BYTES)
+        self.metadata = MetadataCache(config)
+        self.sampler_params = SamplerParams(
+            sample_sets=config.stream.sampler_sets,
+            capacity_points=config.stream.sampler_points,
+            min_capacity=config.stream.sampler_min_bytes,
+            max_capacity=max(
+                config.stream.sampler_min_bytes * 2, config.total_cache_bytes
+            ),
+        )
+        self._partitions = {}
+        self._signatures = {}
+        self._resident = {}
+
+    def _interleaved_partition(self, pid: int, read_only: bool = False) -> PartitionSpec:
+        units = np.arange(self.config.n_units, dtype=np.int64)
+        rows = np.full(
+            self.config.n_units, self.config.rows_per_unit, dtype=np.int64
+        )
+        return PartitionSpec(
+            pid=pid, copies=[RegionCopy(units=units, rows=rows)], read_only=read_only
+        )
+
+    def begin_epoch(self, epoch_idx: int) -> ReconfigStats:
+        before = dict(self._signatures)
+        self.reconfigure(epoch_idx)
+        stats = ReconfigStats()
+        self._signatures = {
+            pid: spec.signature() for pid, spec in self._partitions.items()
+        }
+        for pid, resident in list(self._resident.items()):
+            if before.get(pid) != self._signatures.get(pid):
+                # Bulk invalidation: the partition moved or resized.
+                stats.invalidations += len(resident[0])
+                del self._resident[pid]
+        return stats
+
+    def process(self, epoch: Trace) -> RequestOutcome:
+        n = len(epoch)
+        req_unit = epoch.core.astype(np.int64) % self.config.n_units
+        if self.metadata_in_dram:
+            metadata_ns, meta_dram = self.metadata.lookup(req_unit, epoch.addr)
+        else:
+            metadata_ns, meta_dram = np.full(n, META_HIT_NS), 0
+
+        pids = self.classify(epoch)
+        self._last_pids = pids
+        lines = epoch.addr // CACHELINE_BYTES
+        set_ids = np.full(n, -1, dtype=np.int64)
+        serving_unit = np.full(n, -1, dtype=np.int64)
+
+        for pid in np.unique(pids):
+            spec = self._partitions.get(int(pid))
+            if spec is None or not spec.allocated:
+                continue
+            mask = pids == pid
+            copy_idx = self._copy_of_unit(spec, req_unit[mask])
+            p_sets = np.full(int(mask.sum()), -1, dtype=np.int64)
+            for ci in np.unique(copy_idx):
+                copy = spec.copies[int(ci)]
+                if copy.total_rows == 0:
+                    continue
+                csel = copy_idx == ci
+                p_sets[csel] = self._map_lines(int(pid), copy, lines[mask][csel])
+            idx = np.flatnonzero(mask)
+            placed = p_sets >= 0
+            set_ids[idx[placed]] = p_sets[placed]
+            serving_unit[idx[placed]] = unpack_unit(p_sets[placed])
+
+        cached = set_ids >= 0
+        hit = np.zeros(n, dtype=bool)
+        hit[cached] = direct_mapped_hits(set_ids[cached], lines[cached])
+        rescued = self._rescue(pids, set_ids, lines, cached, hit)
+        self._record_resident(pids, set_ids, lines, cached)
+
+        local_row = np.where(
+            cached, unpack_set_idx(set_ids) // self.lines_per_row, -1
+        )
+        return RequestOutcome(
+            hit=hit,
+            serving_unit=serving_unit,
+            local_row=local_row,
+            # Tags live with the data in DRAM: a miss is discovered by the
+            # (meta-filtered) probe only when metadata was imprecise; with
+            # the idealized dual-granularity cache the metadata identifies
+            # misses, so no extra DRAM probe is charged.
+            miss_probe_dram=np.zeros(n, dtype=bool),
+            metadata_ns=metadata_ns,
+            metadata_dram_accesses=meta_dram,
+            rescued_first_touches=rescued,
+        )
+
+    def end_epoch(self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome) -> None:
+        self.observe(epoch_idx, epoch, self._last_pids)
+
+    # -- mapping helpers --------------------------------------------------
+
+    def _copy_of_unit(self, spec: PartitionSpec, req_unit: np.ndarray) -> np.ndarray:
+        """Which replica serves each requesting unit: the nearest one."""
+        if len(spec.copies) == 1:
+            return np.zeros(len(req_unit), dtype=np.int64)
+        centers = [
+            self.topology.centroid_unit([int(u) for u in copy.units])
+            for copy in spec.copies
+        ]
+        dist = np.stack(
+            [self.topology.latency_ns[:, c] for c in centers], axis=1
+        )  # (n_units, n_copies)
+        nearest = np.argmin(dist, axis=1)
+        return nearest[req_unit]
+
+    def _map_lines(self, pid: int, copy: RegionCopy, lines: np.ndarray) -> np.ndarray:
+        unit_choice = weighted_bucket_array(
+            lines.astype(np.uint64), copy.rows, salt=pid * 13 + 7
+        )
+        units = copy.units[unit_choice]
+        sets_per_unit = np.maximum(copy.rows[unit_choice] * self.lines_per_row, 1)
+        set_idx = (
+            mix64_array(lines.astype(np.uint64), salt=pid * 29 + 11)
+            % sets_per_unit.astype(np.uint64)
+        ).astype(np.int64)
+        return pack_set_id(np.full_like(lines, pid), units, set_idx)
+
+    def _rescue(
+        self,
+        pids: np.ndarray,
+        set_ids: np.ndarray,
+        lines: np.ndarray,
+        cached: np.ndarray,
+        hit: np.ndarray,
+    ) -> int:
+        """Warm-start: unchanged partitions keep their contents."""
+        if not self._resident:
+            return 0
+        pair = _pair_keys(set_ids, lines)
+        prev_idx, _ = _prev_in_group(pair, pair)
+        first_touch = cached & (prev_idx < 0) & ~hit
+        rescued = 0
+        for pid in np.unique(pids[first_touch]):
+            resident = self._resident.get(int(pid))
+            if resident is None:
+                continue
+            keys = np.sort(_pair_keys(resident[0], resident[1]))
+            sel = first_touch & (pids == pid)
+            qk = pair[sel]
+            pos = np.clip(np.searchsorted(keys, qk), 0, len(keys) - 1)
+            found = keys[pos] == qk
+            hit[np.flatnonzero(sel)[found]] = True
+            rescued += int(found.sum())
+        return rescued
+
+    def _record_resident(
+        self,
+        pids: np.ndarray,
+        set_ids: np.ndarray,
+        lines: np.ndarray,
+        cached: np.ndarray,
+    ) -> None:
+        if not cached.any():
+            return
+        c_sets = set_ids[cached]
+        c_lines = lines[cached]
+        c_pids = pids[cached]
+        # Direct-mapped: the last line per set is resident at epoch end.
+        seq = np.arange(len(c_sets))
+        order = np.lexsort((seq, c_sets))
+        last = np.ones(len(order), dtype=bool)
+        last[:-1] = c_sets[order][1:] != c_sets[order][:-1]
+        keep = order[last]
+        for pid in np.unique(c_pids[keep]):
+            sel = c_pids[keep] == pid
+            self._resident[int(pid)] = (c_sets[keep][sel], c_lines[keep][sel])
+
+    # -- sizing/placement helpers shared by Jigsaw-family baselines -------
+
+    # Same churn guard as the NDPExt runtime: only install a resized
+    # partitioning when it predicts a meaningful miss reduction,
+    # otherwise bulk invalidation costs outweigh the gain.
+    RECONFIG_GAIN_THRESHOLD = 0.03
+
+    def smooth_curve(self, pid: int, fresh: MissCurve) -> MissCurve:
+        """EWMA against the previously stored curve (same capacities)."""
+        previous = getattr(self, "_smoothed", {}).get(pid)
+        if previous is not None and np.array_equal(
+            previous.capacities, fresh.capacities
+        ):
+            fresh = MissCurve(
+                fresh.capacities, 0.5 * previous.misses + 0.5 * fresh.misses
+            )
+        if not hasattr(self, "_smoothed"):
+            self._smoothed = {}
+        self._smoothed[pid] = fresh
+        return fresh
+
+    def should_install(
+        self, curves: dict[int, MissCurve], new_sizes: dict[int, int]
+    ) -> bool:
+        """Compare predicted misses of the new sizing vs the installed one."""
+        old_sizes = getattr(self, "_installed_sizes", None)
+        if old_sizes is None:
+            return True
+
+        def predicted(sizes: dict[int, int]) -> float:
+            return sum(
+                curve.monotone().misses_at(sizes.get(pid, 0))
+                for pid, curve in curves.items()
+            )
+
+        return predicted(new_sizes) < predicted(old_sizes) * (
+            1.0 - self.RECONFIG_GAIN_THRESHOLD
+        )
+
+    def record_install(self, sizes: dict[int, int]) -> None:
+        self._installed_sizes = dict(sizes)
+
+    def lookahead_sizes(
+        self, curves: dict[int, MissCurve], budget_bytes: int
+    ) -> dict[int, int]:
+        """Classic lookahead sizing: repeatedly grant the steepest slope
+        until the byte budget runs out.  Returns bytes per partition."""
+        state = LookaheadState({p: c.monotone() for p, c in curves.items()})
+        spent = 0
+        while spent < budget_bytes:
+            segment = state.next_steepest_segment()
+            if segment is None:
+                break
+            if spent + segment.size > budget_bytes:
+                break
+            state.commit(segment)
+            spent += segment.size
+        return dict(state.allocated)
+
+    def center_of_mass_placement(
+        self,
+        sizes_rows: dict[int, int],
+        weights: dict[int, dict[int, int]],
+        importance: dict[int, int],
+        replication: dict[int, int] | None = None,
+    ) -> dict[int, PartitionSpec]:
+        """Greedy centre-of-mass placement (Jigsaw/CDCS-style).
+
+        Partitions are placed in importance order; each allocates its rows
+        from the units nearest its accessors' weighted centroid.  With
+        ``replication[pid] = R > 1`` the units are split into R contiguous
+        regions and each region receives a full copy (Nexus-style global
+        replication for read-only data).
+        """
+        n_units = self.config.n_units
+        free = np.full(n_units, self.config.rows_per_unit, dtype=np.int64)
+        specs: dict[int, PartitionSpec] = {}
+        order = sorted(sizes_rows, key=lambda p: -importance.get(p, 0))
+        # Leftover capacity (curves flat before the cache fills) is handed
+        # out proportionally to access counts — partitioned caches use all
+        # their space.
+        leftover = int(free.sum()) - int(sum(sizes_rows.values()))
+        total_importance = sum(importance.get(p, 0) for p in sizes_rows) or 1
+        for pid in order:
+            rows_needed = sizes_rows[pid]
+            if leftover > 0:
+                rows_needed += (
+                    leftover * importance.get(pid, 0) // total_importance
+                )
+            acc = weights.get(pid, {})
+            degree = (replication or {}).get(pid, 1)
+            copies: list[RegionCopy] = []
+            regions = self._regions(degree)
+            for region in regions:
+                copy = self._fill_region(
+                    region, rows_needed, acc, free
+                )
+                if copy.total_rows > 0:
+                    copies.append(copy)
+            specs[pid] = PartitionSpec(pid=pid, copies=copies)
+        return specs
+
+    def _regions(self, degree: int) -> list[np.ndarray]:
+        """Split units into ``degree`` contiguous regions (by unit id,
+        which follows the stack layout)."""
+        units = np.arange(self.config.n_units, dtype=np.int64)
+        degree = max(1, min(degree, self.config.n_units))
+        return [np.array(r, dtype=np.int64) for r in np.array_split(units, degree)]
+
+    def _fill_region(
+        self,
+        region: np.ndarray,
+        rows_needed: int,
+        acc_weights: dict[int, int],
+        free: np.ndarray,
+    ) -> RegionCopy:
+        acc_in_region = [u for u in acc_weights if u in set(region.tolist())]
+        if acc_in_region:
+            center = self.topology.centroid_unit(
+                acc_in_region, [acc_weights[u] for u in acc_in_region]
+            )
+        else:
+            center = int(region[len(region) // 2])
+        order = [u for u in self.topology.nearest_units(center) if u in set(region.tolist())]
+        units_out, rows_out = [], []
+        remaining = rows_needed
+        for unit in order:
+            if remaining <= 0:
+                break
+            take = int(min(remaining, free[unit]))
+            if take > 0:
+                units_out.append(unit)
+                rows_out.append(take)
+                free[unit] -= take
+                remaining -= take
+        return RegionCopy(
+            units=np.array(units_out, dtype=np.int64),
+            rows=np.array(rows_out, dtype=np.int64),
+        )

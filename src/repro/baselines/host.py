@@ -1,0 +1,103 @@
+"""The non-NDP host baseline: 64 cores, 32 MB Jigsaw-NUCA LLC, DDR5.
+
+Fig. 5 normalizes every NDP design to a conventional host processor whose
+last-level cache is an SRAM NUCA (512 kB banks, 9-cycle bank access plus
+3-cycle routing per hop, managed Jigsaw-style) in front of DDR5 main
+memory.  We express the host as a :class:`SystemConfig` whose "NDP DRAM"
+timing is the SRAM bank latency and whose "extended memory" is
+direct-attached DDR5 (no CXL link), then run the Jigsaw policy with
+on-chip (free) metadata — SRAM tags need no DRAM metadata accesses.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.jigsaw import JigsawPolicy
+from repro.sim.params import (
+    DDR5_4800,
+    KB,
+    CxlParams,
+    DramTiming,
+    NocParams,
+    SystemConfig,
+)
+
+# SRAM LLC bank: 9-cycle access at 2 GHz; no row-buffer distinction.
+SRAM_BANK = DramTiming(
+    name="sram-llc",
+    freq_mhz=2000.0,
+    t_rcd=0,
+    t_cas=9,
+    t_rp=0,
+    rd_wr_pj_per_bit=0.2,
+    act_pre_nj=0.0,
+    row_bytes=2 * KB,
+    banks=1,
+)
+
+# Direct-attached DDR5: a short memory-controller latency instead of the
+# 200 ns CXL link, and cheaper per-bit transfer energy.  The channel
+# count is scaled in host_config to preserve the paper's cores-per-
+# channel pressure (64 cores / 4 channels).
+HOST_MEMORY = CxlParams(link_ns=20.0, pj_per_bit=5.0, lanes=64, channels=4)
+
+# 3-cycle routing per hop at 2 GHz.
+HOST_NOC = NocParams(
+    intra_hop_ns=1.5,
+    inter_hop_ns=1.5,
+    intra_pj_per_bit=0.3,
+    inter_pj_per_bit=0.3,
+)
+
+
+def host_config(ndp_config: SystemConfig) -> SystemConfig:
+    """Build the host system matched to an NDP config's scale.
+
+    The host has half the cores (64 vs. 128 at paper scale) and an LLC
+    orders of magnitude smaller than the NDP DRAM cache (32 MB vs. 16 GB,
+    against working sets beyond 16 GB).  Two ratios cannot both survive
+    scaling; we preserve the one that sets the host's hit rate — LLC as a
+    small percent of the NDP cache/footprint (1/32) — because that is
+    what produces the paper's 4-7x NDP-over-host gap.
+    """
+    mesh_x = max(1, ndp_config.mesh_x)
+    mesh_y = max(1, ndp_config.mesh_y * ndp_config.n_stacks // 2)
+    n_units = max(1, mesh_x * mesh_y)
+    # Paper ratio: 32 MB LLC vs 16 GB NDP cache (1/512) against >16 GB
+    # footprints — the host runs essentially out of DRAM.  The per-bank
+    # floor keeps the model well-formed at tiny scales.
+    total_llc = max(8 * KB, ndp_config.total_cache_bytes // 512)
+    bank_bytes = max(1 * KB, total_llc // n_units)
+    channels = max(1, round(ndp_config.n_cores / 32))
+    memory = CxlParams(
+        link_ns=HOST_MEMORY.link_ns,
+        pj_per_bit=HOST_MEMORY.pj_per_bit,
+        lanes=HOST_MEMORY.lanes,
+        channels=channels,
+    )
+    return SystemConfig(
+        name=f"host-of-{ndp_config.name}",
+        stacks_x=1,
+        stacks_y=1,
+        mesh_x=mesh_x,
+        mesh_y=mesh_y,
+        unit_cache_bytes=bank_bytes,
+        memory_style="hmc",  # a flat on-chip mesh of banks
+        ndp_dram=SRAM_BANK,
+        ext_dram=DDR5_4800,
+        noc=HOST_NOC,
+        cxl=memory,
+        core=ndp_config.core,
+        stream=ndp_config.stream,
+        epoch_accesses=ndp_config.epoch_accesses,
+        metadata_cache_bytes=ndp_config.metadata_cache_bytes,
+        indirect_mlp=1.0,  # no stream engine on the host
+    )
+
+
+class HostJigsawPolicy(JigsawPolicy):
+    """Jigsaw on the host LLC: SRAM tags, so metadata is free."""
+
+    name = "host"
+
+    def __init__(self) -> None:
+        super().__init__(metadata_in_dram=False)

@@ -1,0 +1,20 @@
+"""NDPExt-static: the stream cache without runtime reconfiguration.
+
+The ablation baseline of Fig. 5/9(e): the hardware stream cache is intact
+(coarse metadata, SLB, ATA, in-DRAM indirect tags) but the cache space is
+split equally among the streams, with a single global replication group
+each, and never changes.  The gap to full NDPExt isolates the value of
+the software configuration algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import NdpExtPolicy
+
+
+class NdpExtStaticPolicy(NdpExtPolicy):
+    """Equal per-stream allocation, no reconfiguration."""
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("name", "ndpext-static")
+        super().__init__(mode="static", **kwargs)

@@ -1,0 +1,18 @@
+"""Static NUCA: cacheline interleaving across all units (S-NUCA).
+
+The simple policy used in the paper's motivating Fig. 2: every line hashes
+uniformly across the whole distributed cache, with no partitioning,
+placement, or replication.  Inherits the metadata path and mapping from
+:class:`PartitionedNucaPolicy` with the default single interleaved
+partition.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import PartitionedNucaPolicy
+
+
+class StaticNucaPolicy(PartitionedNucaPolicy):
+    """One global partition, uniformly interleaved, never reconfigured."""
+
+    name = "static-nuca"

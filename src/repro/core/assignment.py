@@ -1,0 +1,102 @@
+"""Sampler-to-stream assignment via max-flow (Section V-B).
+
+Each NDP unit has S = 4 miss-curve samplers, and a sampler can only watch
+a stream its own unit accesses.  At each epoch boundary the per-unit
+access bitvectors are shipped to the host, which solves a max-flow
+problem: source -> units (capacity S) -> streams (capacity 1) -> sink.
+Each saturated unit->stream edge becomes one sampler assignment.
+
+When there are more streams than total sampler slots, the assignment
+rotates: streams sampled in earlier epochs of a rotation are deprioritized
+until every stream has been covered, after which the rotation restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.maxflow import solve_bipartite_assignment
+
+
+@dataclass
+class AssignmentResult:
+    """One epoch's sampler placement."""
+
+    assignment: dict[int, int]  # stream id -> unit id that samples it
+    uncovered: list[int]  # streams no sampler could watch this epoch
+
+    @property
+    def covered(self) -> list[int]:
+        return sorted(self.assignment)
+
+
+@dataclass
+class SamplerAssigner:
+    """Stateful assigner implementing the rotation described in the paper."""
+
+    samplers_per_unit: int = 4
+    _sampled_this_rotation: set[int] = field(default_factory=set)
+
+    def assign(self, bitvectors: np.ndarray) -> AssignmentResult:
+        """Assign samplers given the access bitvectors of one epoch.
+
+        ``bitvectors[u, s]`` is True when unit ``u`` accessed stream ``s``
+        during the epoch.  Streams never accessed are ignored.
+        """
+        bitvectors = np.asarray(bitvectors, dtype=bool)
+        if bitvectors.ndim != 2:
+            raise ValueError("bitvectors must be a (units x streams) matrix")
+        n_units, n_streams = bitvectors.shape
+        active = [s for s in range(n_streams) if bitvectors[:, s].any()]
+        if not active:
+            return AssignmentResult(assignment={}, uncovered=[])
+
+        # Rotation: drop streams already sampled this rotation unless every
+        # active stream has been, in which case a new rotation starts.
+        pending = [s for s in active if s not in self._sampled_this_rotation]
+        if not pending:
+            self._sampled_this_rotation.clear()
+            pending = list(active)
+
+        assignment = self._solve(bitvectors, pending)
+        if len(assignment) < len(active):
+            # Capacity left over after covering pending streams can watch
+            # already-sampled streams again (fresh data never hurts).
+            spare = {
+                u: self.samplers_per_unit
+                - sum(1 for unit in assignment.values() if unit == u)
+                for u in range(n_units)
+            }
+            rest = [s for s in active if s not in assignment]
+            extra = self._solve(bitvectors, rest, capacity_override=spare)
+            assignment.update(extra)
+
+        self._sampled_this_rotation.update(assignment)
+        uncovered = [s for s in active if s not in assignment]
+        return AssignmentResult(assignment=assignment, uncovered=uncovered)
+
+    def _solve(
+        self,
+        bitvectors: np.ndarray,
+        streams: list[int],
+        capacity_override: dict[int, int] | None = None,
+    ) -> dict[int, int]:
+        n_units = bitvectors.shape[0]
+        capacities = capacity_override or {
+            u: self.samplers_per_unit for u in range(n_units)
+        }
+        capacities = {u: c for u, c in capacities.items() if c > 0}
+        edges = [
+            (u, s)
+            for s in streams
+            for u in capacities
+            if bitvectors[u, s]
+        ]
+        if not edges:
+            return {}
+        return solve_bipartite_assignment(capacities, streams, edges)
+
+    def reset(self) -> None:
+        self._sampled_this_rotation.clear()

@@ -1,0 +1,444 @@
+"""The cache configuration algorithm (Section V-C, Algorithm 1).
+
+Given the per-stream miss curves and the set of units that accessed each
+stream, the configurator co-optimizes — in one iterative loop — how much
+capacity each stream gets (*sizing*), which units provide it
+(*placement*), and how many independent copies exist (*replication*).
+
+The loop repeatedly takes the steepest miss-curve slope (the classic
+lookahead step) and grants that capacity increment to *every replication
+group* of the chosen stream.  Read-only streams start maximally
+replicated — every accessing unit is its own group, so all accesses are
+local — and when space runs out the algorithm either
+
+* **extends** a group onto the nearest unit with free space (a copy
+  spreads out; remote rows contribute utility attenuated by the
+  interconnect-vs-DRAM latency ratio), or
+* **merges** the lowest-utility group that owns space in the contended
+  unit with its nearest sibling group (replication degree drops by one,
+  freeing a whole copy's worth of rows),
+
+choosing whichever yields the higher utility.  Read-write streams always
+form a single global group, keeping the cache coherent with one copy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.remap import NO_GROUP, StreamAllocation
+from repro.core.stream import StreamConfig
+from repro.sim.topology import Topology
+from repro.util.curves import LookaheadState, MissCurve
+
+
+@dataclass
+class Group:
+    """One replication group of one stream during configuration."""
+
+    sid: int
+    rows: dict[int, int] = field(default_factory=dict)  # unit -> rows
+
+    @property
+    def units(self) -> list[int]:
+        return [u for u, r in self.rows.items() if r > 0]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+    def add(self, unit: int, rows: int) -> None:
+        self.rows[unit] = self.rows.get(unit, 0) + rows
+
+    def remove_empty(self) -> None:
+        self.rows = {u: r for u, r in self.rows.items() if r > 0}
+
+
+@dataclass
+class ConfigResult:
+    """Output of one configuration run."""
+
+    allocations: list[StreamAllocation]
+    iterations: int
+    exhausted: set[int]
+    replication_degree: dict[int, int]
+
+    def allocation_of(self, sid: int) -> StreamAllocation:
+        for alloc in self.allocations:
+            if alloc.sid == sid:
+                return alloc
+        raise KeyError(f"no allocation for stream {sid}")
+
+
+class CacheConfigurator:
+    """Runs Algorithm 1 for one reconfiguration."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        rows_per_unit: int,
+        row_bytes: int,
+        affine_space_bytes: int | None = None,
+        max_iterations: int = 100_000,
+    ) -> None:
+        self.topology = topology
+        self.n_units = topology.n_units
+        self.rows_per_unit = rows_per_unit
+        self.row_bytes = row_bytes
+        self.affine_rows_cap = (
+            affine_space_bytes // row_bytes if affine_space_bytes else None
+        )
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def configure(
+        self,
+        streams: dict[int, StreamConfig],
+        curves: dict[int, MissCurve],
+        acc_units: dict[int, list[int]],
+        acc_counts: dict[int, dict[int, int]] | None = None,
+    ) -> ConfigResult:
+        """Derive allocations for all streams with miss curves.
+
+        ``curves`` capacities are *per-copy* bytes.  ``acc_units[sid]``
+        lists the units whose cores accessed the stream last epoch;
+        ``acc_counts`` optionally weights them.
+        """
+        self._streams = streams
+        self._acc_units = {
+            sid: sorted(set(units)) for sid, units in acc_units.items()
+        }
+        self._acc_counts = acc_counts or {}
+        self._free = np.full(self.n_units, self.rows_per_unit, dtype=np.int64)
+        self._affine_used = np.zeros(self.n_units, dtype=np.int64)
+        self._groups: dict[int, list[Group]] = {}
+        exhausted: set[int] = set()
+
+        usable = {
+            sid: curve.monotone()
+            for sid, curve in curves.items()
+            if self._acc_units.get(sid)
+        }
+        state = LookaheadState(usable)
+        for sid in curves:
+            if not self._acc_units.get(sid):
+                exhausted.add(sid)
+
+        iterations = 0
+        while iterations < self.max_iterations:
+            segment = state.next_steepest_segment(exclude=exhausted)
+            if segment is None:
+                break
+            iterations += 1
+            sid = segment.stream_id
+            need_rows = max(1, math.ceil(segment.size / self.row_bytes))
+            if sid not in self._groups:
+                self._create_groups(sid)
+            fully_placed = True
+            for group in list(self._groups[sid]):
+                if group not in self._groups[sid]:
+                    continue  # consumed by a merge triggered this iteration
+                remaining = self._place_in_group(group, need_rows)
+                if remaining > 0:
+                    remaining = self._extend_or_merge(group, remaining)
+                if remaining > 0:
+                    fully_placed = False
+            if fully_placed and self._groups[sid]:
+                state.commit(segment)
+            else:
+                exhausted.add(sid)
+
+        allocations = self._finalize(streams, curves)
+        replication = {
+            sid: max(1, len(groups)) for sid, groups in self._groups.items()
+        }
+        return ConfigResult(
+            allocations=allocations,
+            iterations=iterations,
+            exhausted=exhausted,
+            replication_degree=replication,
+        )
+
+    # ------------------------------------------------------------------
+    # Group creation and placement
+    # ------------------------------------------------------------------
+
+    def _create_groups(self, sid: int) -> None:
+        """Initial replication: each accessing unit its own group for
+        read-only streams (maximum replication); one global group for
+        read-write streams (single copy, coherence)."""
+        stream = self._streams[sid]
+        units = self._acc_units[sid]
+        if stream.read_only:
+            self._groups[sid] = [Group(sid, {u: 0}) for u in units]
+        else:
+            self._groups[sid] = [Group(sid, {u: 0 for u in units})]
+
+    def _unit_free_rows(self, unit: int, sid: int) -> int:
+        """Free rows available to this stream in this unit, honouring the
+        affine-space restriction (Section IV-C)."""
+        free = int(self._free[unit])
+        if self.affine_rows_cap is not None and self._streams[sid].is_affine:
+            affine_free = self.affine_rows_cap - int(self._affine_used[unit])
+            free = min(free, max(0, affine_free))
+        return max(0, free)
+
+    def _take_rows(self, unit: int, sid: int, rows: int) -> None:
+        self._free[unit] -= rows
+        if self._streams[sid].is_affine:
+            self._affine_used[unit] += rows
+
+    def _release_rows(self, unit: int, sid: int, rows: int) -> None:
+        self._free[unit] += rows
+        if self._streams[sid].is_affine:
+            self._affine_used[unit] -= rows
+
+    def _anchor_of(self, group: Group) -> int:
+        """The group's centre: its hottest accessing unit."""
+        acc = [u for u in self._acc_units[group.sid] if u in group.rows]
+        candidates = acc or list(group.rows)
+        counts = self._acc_counts.get(group.sid, {})
+        return max(candidates, key=lambda u: (counts.get(u, 0), -u))
+
+    def _place_in_group(self, group: Group, rows: int) -> int:
+        """Fill ``rows`` into the group's existing units; returns leftover."""
+        anchor = self._anchor_of(group)
+        order = sorted(
+            group.rows, key=lambda u: self.topology.latency_ns[anchor, u]
+        )
+        remaining = rows
+        for unit in order:
+            if remaining == 0:
+                break
+            take = min(remaining, self._unit_free_rows(unit, group.sid))
+            if take > 0:
+                group.add(unit, take)
+                self._take_rows(unit, group.sid, take)
+                remaining -= take
+        return remaining
+
+    # ------------------------------------------------------------------
+    # Extend vs merge (the core of Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def _extend_or_merge(self, group: Group, rows: int) -> int:
+        """Get ``rows`` more rows for ``group`` by extending or merging.
+
+        Returns the rows still unplaced (0 on success).
+        """
+        remaining = rows
+        guard = 0
+        while remaining > 0 and guard < 4 * self.n_units:
+            guard += 1
+            extend = self._best_extension(group, remaining)
+            merge = self._best_merge(group, remaining)
+            if extend is None and merge is None:
+                break
+            if merge is None or (
+                extend is not None and extend[1] >= merge[2]
+            ):
+                unit, _gain = extend  # type: ignore[misc]
+                take = min(remaining, self._unit_free_rows(unit, group.sid))
+                group.add(unit, take)
+                self._take_rows(unit, group.sid, take)
+                remaining -= take
+            else:
+                group_a, group_b, _gain = merge
+                self._merge_groups(group_a, group_b)
+                if group is group_b and group_a.sid == group.sid:
+                    group = group_a  # our group was absorbed
+                remaining = self._place_in_group(group, remaining)
+        return remaining
+
+    def _utility(self, group: Group) -> float:
+        """Group utility: allocated bytes reachable by each accessing unit,
+        attenuated by interconnect distance (Section V-C example)."""
+        acc = [u for u in self._acc_units.get(group.sid, []) if u in group.rows]
+        util = 0.0
+        for u in acc:
+            for v, r in group.rows.items():
+                if r > 0:
+                    util += r * self.row_bytes * self.topology.attenuation(u, v)
+        return util
+
+    def _best_extension(
+        self, group: Group, rows: int
+    ) -> tuple[int, float] | None:
+        """Nearest unit outside the group with free space; returns
+        (unit, utility gain) or None."""
+        anchor = self._anchor_of(group)
+        acc = [u for u in self._acc_units[group.sid] if u in group.rows]
+        # A unit may hold at most one replication group per stream, so an
+        # extension must avoid every sibling group's units too.
+        taken = {
+            u for g in self._groups[group.sid] for u in g.rows
+        }
+        for unit in self.topology.nearest_units(anchor):
+            if unit in taken:
+                continue
+            avail = self._unit_free_rows(unit, group.sid)
+            if avail <= 0:
+                continue
+            placed = min(rows, avail)
+            gain = sum(
+                placed * self.row_bytes * self.topology.attenuation(u, unit)
+                for u in acc
+            )
+            return unit, gain
+        return None
+
+    def _best_merge(
+        self, group: Group, rows: int
+    ) -> tuple[Group, Group, float] | None:
+        """FindMergeGroup + NearestGroup: among all groups holding rows in
+        the contended unit whose stream still has >= 2 groups, pick the
+        lowest-utility one (groupA) and its nearest same-stream sibling
+        (groupB).  Returns (groupA, groupB, utility delta) or None."""
+        anchor = self._anchor_of(group)
+        candidates: list[Group] = []
+        for sid, groups in self._groups.items():
+            if len(groups) < 2:
+                continue
+            for g in groups:
+                if g.rows.get(anchor, 0) > 0:
+                    candidates.append(g)
+        if not candidates:
+            return None
+        group_a = min(candidates, key=self._utility)
+        siblings = [g for g in self._groups[group_a.sid] if g is not group_a]
+        if not siblings:
+            return None
+        group_b = min(
+            siblings, key=lambda g: self._group_distance(group_a, g)
+        )
+        before = self._utility(group_a) + self._utility(group_b)
+        after = self._merged_utility(group_a, group_b)
+        # The merge frees one copy's worth of rows; credit the rows we can
+        # then place locally at full utility.
+        freed_here = (group_a.rows.get(anchor, 0) + group_b.rows.get(anchor, 0)) // 2
+        acc = [u for u in self._acc_units[group.sid] if u in group.rows]
+        local_gain = min(rows, freed_here) * self.row_bytes * max(
+            (self.topology.attenuation(u, anchor) for u in acc), default=0.0
+        )
+        return group_a, group_b, (after - before) + local_gain
+
+    def _group_distance(self, a: Group, b: Group) -> float:
+        return min(
+            self.topology.latency_ns[u, v]
+            for u in (a.units or list(a.rows))
+            for v in (b.units or list(b.rows))
+        )
+
+    def _merged_utility(self, a: Group, b: Group) -> float:
+        merged = Group(a.sid, dict(a.rows))
+        for u, r in b.rows.items():
+            merged.add(u, r)
+        # One copy over the union: halve the capacity.
+        merged.rows = {u: r // 2 for u, r in merged.rows.items()}
+        return self._utility(merged)
+
+    def _merge_groups(self, group_a: Group, group_b: Group) -> None:
+        """Merge two groups of the same stream into group_a, freeing the
+        duplicate copy's rows (replication degree drops by one)."""
+        if group_a.sid != group_b.sid:
+            raise ValueError("can only merge groups of the same stream")
+        sid = group_a.sid
+        copy_rows = max(group_a.total_rows, group_b.total_rows)
+        combined: dict[int, int] = dict(group_a.rows)
+        for u, r in group_b.rows.items():
+            combined[u] = combined.get(u, 0) + r
+        total_combined = sum(combined.values())
+        # Redistribute one copy proportionally over the union.
+        new_rows: dict[int, int] = {}
+        if total_combined > 0:
+            for u, r in combined.items():
+                new_rows[u] = (r * copy_rows) // total_combined
+            shortfall = copy_rows - sum(new_rows.values())
+            # Spread the rounding shortfall over units with headroom,
+            # largest first, never exceeding what each already held.
+            for u in sorted(combined, key=lambda u: -combined[u]):
+                if shortfall <= 0:
+                    break
+                headroom = combined[u] - new_rows[u]
+                grant = min(headroom, shortfall)
+                new_rows[u] += grant
+                shortfall -= grant
+        # Release the difference.
+        for u in combined:
+            delta = combined.get(u, 0) - new_rows.get(u, 0)
+            if delta > 0:
+                self._release_rows(u, sid, delta)
+            elif delta < 0:
+                raise AssertionError("merge must never grow a unit's rows")
+        group_a.rows = {u: r for u, r in new_rows.items() if r > 0} or {
+            self._anchor_of(group_a): 0
+        }
+        self._groups[sid].remove(group_b)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        streams: dict[int, StreamConfig],
+        curves: dict[int, MissCurve],
+    ) -> list[StreamAllocation]:
+        allocations = []
+        for sid in sorted(curves):
+            shares = np.zeros(self.n_units, dtype=np.int64)
+            groups_arr = np.full(self.n_units, NO_GROUP, dtype=np.int64)
+            for gid, group in enumerate(self._groups.get(sid, [])):
+                group.remove_empty()
+                for unit, rows in group.rows.items():
+                    if rows > 0:
+                        shares[unit] += rows
+                        groups_arr[unit] = gid
+            allocations.append(
+                StreamAllocation(
+                    sid=sid,
+                    shares=shares,
+                    groups=groups_arr,
+                    row_base=np.zeros(self.n_units, dtype=np.int64),
+                )
+            )
+        return allocations
+
+
+def equal_share_allocations(
+    streams: dict[int, StreamConfig],
+    n_units: int,
+    rows_per_unit: int,
+) -> list[StreamAllocation]:
+    """NDPExt-static: split every unit's rows equally among all streams,
+    one global replication group per stream (no replication).
+
+    When there are more streams than rows per unit, the remainder rows
+    rotate across units so every stream still receives cache space
+    somewhere in the system.
+    """
+    if not streams:
+        return []
+    sids = sorted(streams)
+    n = len(sids)
+    base, rem = divmod(rows_per_unit, n)
+    allocations = []
+    for index, sid in enumerate(sids):
+        shares = np.full(n_units, base, dtype=np.int64)
+        if rem:
+            # Unit u grants its `rem` leftover rows to streams
+            # (u*rem) .. (u*rem + rem - 1) modulo the stream count.
+            for unit in range(n_units):
+                offset = (index - unit * rem) % n
+                if offset < rem:
+                    shares[unit] += 1
+        if shares.sum() == 0:
+            continue
+        allocations.append(StreamAllocation.single_group(sid, shares))
+    return allocations

@@ -1,0 +1,90 @@
+"""Consistent hashing for low-movement reconfiguration (Section V-D).
+
+When the runtime installs a new cache configuration, the naive approach
+(bulk invalidation, as in Jigsaw/CDCS) drops every cached element of every
+resized stream.  NDPExt instead treats every allocated (unit, DRAM row)
+as a spot on a consistent-hash ring; elements map to the nearest spot
+clockwise, so resizing a stream's allocation only remaps the elements
+whose nearest spot changed — the classic consistent-hashing guarantee.
+
+:class:`ConsistentRing` provides the vectorised tag -> spot lookup, and
+:func:`preserved_mask` compares two rings to find which tags keep their
+physical location across a reconfiguration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.hashing import mix64, mix64_array
+
+VIRTUAL_NODES = 8
+
+
+class ConsistentRing:
+    """A consistent-hash ring over (unit, row) spots for one stream.
+
+    Each spot is placed at ``VIRTUAL_NODES`` pseudo-random ring positions
+    for load balance.  Lookups are fully vectorised.
+    """
+
+    def __init__(self, spots: list[tuple[int, int]], salt: int = 0) -> None:
+        """``spots`` are (unit, row_index) pairs; ``salt`` decorrelates
+        rings of different streams."""
+        if not spots:
+            raise ValueError("a ring needs at least one spot")
+        self.spots = list(spots)
+        keys = []
+        owners = []
+        for index, (unit, row) in enumerate(self.spots):
+            base = mix64(((unit + 1) << 32) ^ row ^ mix64(salt))
+            for v in range(VIRTUAL_NODES):
+                keys.append(mix64(base + v))
+                owners.append(index)
+        order = np.argsort(np.array(keys, dtype=np.uint64))
+        self._positions = np.array(keys, dtype=np.uint64)[order]
+        self._owners = np.array(owners, dtype=np.int64)[order]
+
+    def __len__(self) -> int:
+        return len(self.spots)
+
+    def lookup(self, tags: np.ndarray) -> np.ndarray:
+        """Map each tag to the index (into ``spots``) of its owning spot."""
+        hashes = mix64_array(np.asarray(tags, dtype=np.uint64), salt=17)
+        idx = np.searchsorted(self._positions, hashes, side="right")
+        idx[idx == len(self._positions)] = 0  # wrap around the ring
+        return self._owners[idx]
+
+    def units_of(self, spot_indices: np.ndarray) -> np.ndarray:
+        units = np.array([u for u, _ in self.spots], dtype=np.int64)
+        return units[spot_indices]
+
+    def rows_of(self, spot_indices: np.ndarray) -> np.ndarray:
+        rows = np.array([r for _, r in self.spots], dtype=np.int64)
+        return rows[spot_indices]
+
+
+def spots_of_group(units: np.ndarray, shares: np.ndarray) -> list[tuple[int, int]]:
+    """Enumerate the (unit, row_index) spots of one replication group."""
+    spots: list[tuple[int, int]] = []
+    for unit, rows in zip(units, shares):
+        spots.extend((int(unit), r) for r in range(int(rows)))
+    return spots
+
+
+def preserved_mask(
+    old_ring: ConsistentRing, new_ring: ConsistentRing, tags: np.ndarray
+) -> np.ndarray:
+    """True for tags whose physical (unit, row) is identical in both rings.
+
+    These are the cached elements a reconfiguration does not need to
+    invalidate or move when consistent hashing is enabled.
+    """
+    tags = np.asarray(tags, dtype=np.int64)
+    old_spots = old_ring.lookup(tags)
+    new_spots = new_ring.lookup(tags)
+    old_units = old_ring.units_of(old_spots)
+    new_units = new_ring.units_of(new_spots)
+    old_rows = old_ring.rows_of(old_spots)
+    new_rows = new_ring.rows_of(new_spots)
+    return (old_units == new_units) & (old_rows == new_rows)

@@ -1,0 +1,309 @@
+"""The NDPExt host runtime: the full dynamic policy (Section V).
+
+At the end of every epoch the runtime collects each unit's stream-access
+bitvector, assigns the per-unit miss-curve samplers to streams with the
+max-flow formulation (Section V-B), measures the sampled streams' miss
+curves (Section V-A), and at the next epoch boundary runs the
+configuration algorithm (Section V-C) to produce a new stream remap
+table, which the stream-cache mapper installs — with consistent hashing
+keeping resident data in place (Section V-D).
+
+Three reconfiguration modes reproduce Fig. 9(e):
+
+* ``full``    — reconfigure every ``reconfig_interval`` epochs (NDPExt),
+* ``partial`` — reconfigure only during the first ``partial_epochs``,
+* ``static``  — never reconfigure (equal allocation; NDPExt-static).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import SamplerAssigner
+from repro.core.configure import CacheConfigurator, equal_share_allocations
+from repro.core.sampler import MissCurveSampler, SamplerParams
+from repro.core.stream import StreamConfig
+from repro.core.stream_cache import StreamCacheMapper
+from repro.sim.engine import DramCachePolicy, ReconfigStats, RequestOutcome
+from repro.sim.params import SystemConfig
+from repro.sim.topology import Topology
+from repro.util.curves import MissCurve
+from repro.workloads.trace import Trace, Workload
+
+
+class NdpExtPolicy(DramCachePolicy):
+    """NDPExt: stream cache + periodic runtime reconfiguration."""
+
+    def __init__(
+        self,
+        mode: str = "full",
+        placement: str = "consistent",
+        reconfig_interval: int = 1,
+        partial_epochs: int = 4,
+        indirect_ways: int | None = None,
+        affine_block_bytes: int | None = None,
+        sampler_sets: int | None = None,
+        adaptive_blocks: bool = False,
+        warm_start: bool = True,
+        name: str | None = None,
+    ) -> None:
+        if mode not in ("full", "partial", "static"):
+            raise ValueError(f"unknown reconfiguration mode {mode!r}")
+        if reconfig_interval < 1:
+            raise ValueError("reconfig_interval must be >= 1")
+        self.mode = mode
+        self.placement = placement
+        self.reconfig_interval = reconfig_interval
+        self.partial_epochs = partial_epochs
+        self.indirect_ways = indirect_ways
+        self.affine_block_bytes = affine_block_bytes
+        self.sampler_sets = sampler_sets
+        # Extension of the paper's Fig. 9(b) future work: pick each affine
+        # stream's block size from its profiled spatial run length instead
+        # of one global 1 kB.
+        self.adaptive_blocks = adaptive_blocks
+        self.warm_start = warm_start
+        self.name = name or ("ndpext" if mode == "full" else f"ndpext-{mode}")
+
+    # ------------------------------------------------------------------
+
+    def setup(
+        self, config: SystemConfig, topology: Topology, workload: Workload
+    ) -> None:
+        self.config = config
+        self.topology = topology
+        self.workload = workload
+        self.mapper = StreamCacheMapper(
+            config,
+            topology,
+            workload.streams,
+            placement=self.placement,
+            indirect_ways=self.indirect_ways,
+            affine_block_bytes=self.affine_block_bytes,
+            warm_start=self.warm_start,
+        )
+        self.assigner = SamplerAssigner(
+            samplers_per_unit=config.stream.samplers_per_unit
+        )
+        self.sampler_params = SamplerParams(
+            sample_sets=self.sampler_sets or config.stream.sampler_sets,
+            capacity_points=config.stream.sampler_points,
+            min_capacity=config.stream.sampler_min_bytes,
+            # A stream (or one replication-group copy) can grow up to the
+            # whole distributed cache, so the curve must span that range.
+            max_capacity=max(
+                config.stream.sampler_min_bytes * 2, config.total_cache_bytes
+            ),
+        )
+        self.configurator = CacheConfigurator(
+            topology=topology,
+            rows_per_unit=config.rows_per_unit,
+            row_bytes=config.ndp_dram.row_bytes,
+            affine_space_bytes=config.stream.affine_space_bytes,
+        )
+        self._streams: dict[int, StreamConfig] = {
+            s.sid: s for s in workload.streams
+        }
+        self._curves: dict[int, MissCurve] = {}
+        self._acc_units: dict[int, list[int]] = {}
+        self._acc_counts: dict[int, dict[int, int]] = {}
+        self._epoch_access_totals: dict[int, int] = {}
+        # Epoch 0 starts from the static equal split; the first measured
+        # configuration lands at the epoch-1 boundary.
+        initial = equal_share_allocations(
+            self._streams, config.n_units, config.rows_per_unit
+        )
+        self.mapper.apply(initial)
+
+    # ------------------------------------------------------------------
+
+    def _should_reconfigure(self, epoch_idx: int) -> bool:
+        if self.mode == "static" or epoch_idx == 0 or not self._curves:
+            return False
+        if self.mode == "partial" and epoch_idx > self.partial_epochs:
+            return False
+        return epoch_idx % self.reconfig_interval == 0
+
+    # Install a new configuration only when it promises at least this
+    # relative miss reduction over the one already in place.  Residual
+    # sampling noise otherwise causes reconfiguration churn whose
+    # invalidations cost more than the marginal gain.
+    RECONFIG_GAIN_THRESHOLD = 0.03
+
+    def begin_epoch(self, epoch_idx: int) -> ReconfigStats:
+        if not self._should_reconfigure(epoch_idx):
+            return ReconfigStats()
+        curves = dict(self._curves)
+        # Streams the samplers have not covered yet keep a synthetic
+        # linear curve so they retain some allocation until measured.
+        for sid, total in self._epoch_access_totals.items():
+            if sid not in curves and total > 0:
+                curves[sid] = self._fallback_curve(sid, total)
+        result = self.configurator.configure(
+            streams=self._streams,
+            curves=curves,
+            acc_units=self._acc_units,
+            acc_counts=self._acc_counts,
+        )
+        old_cost = self._predicted_cost(curves, self._current_allocations())
+        new_cost = self._predicted_cost(curves, result.allocations)
+        if old_cost > 0 and new_cost > old_cost * (
+            1.0 - self.RECONFIG_GAIN_THRESHOLD
+        ):
+            return ReconfigStats()
+        return self.mapper.apply(result.allocations)
+
+    def _current_allocations(self) -> list:
+        return [
+            self.mapper.table.get_or_empty(sid) for sid in sorted(self._streams)
+        ]
+
+    def _predicted_cost(self, curves: dict[int, MissCurve], allocations) -> float:
+        """Expected memory time (ns) if ``allocations`` served the curves.
+
+        Misses pay the extended-memory penalty; hits pay the round trip to
+        wherever the accessing units' replication group lives — so a
+        configuration that replicates a hot stream near its consumers is
+        credited for the shorter hops, not only for miss counts.
+        """
+        row_bytes = self.config.ndp_dram.row_bytes
+        miss_penalty = self.config.cxl.link_ns + self.config.ext_dram.row_miss_ns
+        total = 0.0
+        for alloc in allocations:
+            sid = alloc.sid
+            curve = curves.get(sid)
+            if curve is None:
+                continue
+            copies = max(1, alloc.n_groups)
+            per_copy = alloc.total_rows * row_bytes / copies
+            misses = curve.monotone().misses_at(per_copy)
+            accesses = self._epoch_access_totals.get(sid, 0)
+            hits = max(0.0, accesses - misses)
+            total += misses * miss_penalty
+            total += hits * self._mean_hit_distance_ns(alloc)
+        return total
+
+    def _mean_hit_distance_ns(self, alloc) -> float:
+        """Access-weighted mean round trip from consumers to their copy."""
+        counts = self._acc_counts.get(alloc.sid, {})
+        if not counts or alloc.total_rows == 0:
+            return 0.0
+        latency = self.topology.latency_ns
+        num = 0.0
+        den = 0
+        for unit, weight in counts.items():
+            gid = alloc.group_of_unit(unit)
+            if gid < 0:
+                # Served by the nearest group.
+                gid = min(
+                    alloc.group_ids,
+                    key=lambda g: latency[unit, alloc.units_of_group(g)].mean(),
+                )
+            units = alloc.units_of_group(gid)
+            shares = alloc.shares[units]
+            mean_one_way = float(
+                (latency[unit, units] * shares).sum() / max(1, shares.sum())
+            )
+            num += weight * 2.0 * mean_one_way
+            den += weight
+        return num / den if den else 0.0
+
+    MIN_BLOCK_BYTES = 256
+    MAX_BLOCK_BYTES = 4096
+
+    def _pick_block_size(
+        self, stream, elems: np.ndarray, cores: np.ndarray
+    ) -> int:
+        """Block size from the profiled spatial run length.
+
+        The mean run of +1 element strides on the stream's busiest core
+        estimates how much contiguous data one visit consumes; the block
+        should cover a run (prefetch pays off) but not much more
+        (overfetch wastes capacity).
+        """
+        if len(elems) < 8:
+            return self.mapper.ata.block_bytes
+        dominant = np.bincount(cores).argmax()
+        mine = elems[cores == dominant]
+        if len(mine) < 8:
+            mine = elems
+        sequential = (np.diff(mine) == 1).mean()
+        run_elems = 1.0 / max(1e-3, 1.0 - min(0.999, float(sequential)))
+        target = stream.elem_size * run_elems
+        block = self.MIN_BLOCK_BYTES
+        while block < target and block < self.MAX_BLOCK_BYTES:
+            block *= 2
+        return block
+
+    def _fallback_curve(self, sid: int, accesses: int) -> MissCurve:
+        """Linear miss decay from footprint: a neutral prior for streams
+        the rotation has not sampled yet."""
+        stream = self._streams[sid]
+        capacities = self.sampler_params.capacities()
+        fraction = np.clip(capacities / max(1, stream.size), 0.0, 1.0)
+        return MissCurve(capacities, accesses * (1.0 - fraction))
+
+    def process(self, epoch: Trace) -> RequestOutcome:
+        return self.mapper.process(epoch)
+
+    def end_epoch(
+        self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome
+    ) -> None:
+        if self.mode == "static":
+            return
+        if self.mode == "partial" and epoch_idx >= self.partial_epochs:
+            return
+        self._profile(epoch)
+
+    # ------------------------------------------------------------------
+
+    def _profile(self, epoch: Trace) -> None:
+        """One epoch's hardware profiling: bitvectors + sampled curves."""
+        n_units = self.config.n_units
+        max_sid = max(self._streams) if self._streams else 0
+        req_unit = epoch.core.astype(np.int64) % n_units
+        valid = epoch.sid >= 0
+        bitvec = np.zeros((n_units, max_sid + 1), dtype=bool)
+        counts = np.zeros((n_units, max_sid + 1), dtype=np.int64)
+        np.add.at(counts, (req_unit[valid], epoch.sid[valid]), 1)
+        bitvec = counts > 0
+
+        self._acc_units = {}
+        self._acc_counts = {}
+        self._epoch_access_totals = {}
+        for sid in range(max_sid + 1):
+            units = np.flatnonzero(bitvec[:, sid])
+            if len(units) == 0:
+                continue
+            self._acc_units[sid] = [int(u) for u in units]
+            self._acc_counts[sid] = {
+                int(u): int(counts[u, sid]) for u in units
+            }
+            self._epoch_access_totals[sid] = int(counts[:, sid].sum())
+
+        assignment = self.assigner.assign(bitvec)
+        for sid in assignment.assignment:
+            stream = self._streams.get(sid)
+            if stream is None:
+                continue
+            mask = epoch.sid == sid
+            elems = stream.element_ids(epoch.addr[mask])
+            if self.adaptive_blocks and stream.is_affine:
+                block = self._pick_block_size(stream, elems, epoch.core[mask])
+                if self.mapper.set_block_override(sid, block):
+                    self._curves.pop(sid, None)  # granularity changed
+            sampler = MissCurveSampler(stream, self.sampler_params)
+            sampler.set_granularity(self.mapper.granularity_of(stream))
+            fresh = sampler.observe(elems)
+            previous = self._curves.get(sid)
+            if previous is not None and np.array_equal(
+                previous.capacities, fresh.capacities
+            ):
+                # Exponential smoothing damps epoch-to-epoch sampling
+                # noise; without it the lookahead order flips between
+                # epochs and the resulting allocation churn costs more
+                # than the reconfiguration gains.
+                fresh = MissCurve(
+                    fresh.capacities, 0.5 * previous.misses + 0.5 * fresh.misses
+                )
+            self._curves[sid] = fresh

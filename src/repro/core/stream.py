@@ -1,0 +1,317 @@
+"""Software-defined streams: the paper's Table I metadata and stream API.
+
+A stream describes one data structure's address range and expected access
+pattern (Section II-C).  NDPExt distinguishes *affine* streams — addresses
+follow an affine function of up to three loop indices, optionally accessed
+in a different dimension order than stored — and *indirect* streams, whose
+addresses are data-dependent (``addr = s[i]``).
+
+Streams are configured with :func:`configure_stream` after allocation and
+before access, mirroring the paper's API::
+
+    configure_stream(type, base, size, elemSize, [stride, length, order])
+
+The hardware-facing metadata widths (9-bit sid, 48-bit base/size, ...) are
+enforced so the model honours Table I's storage accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class StreamKind(Enum):
+    AFFINE = "affine"
+    INDIRECT = "indirect"
+
+
+# Table I field widths (bits).
+SID_BITS = 9
+BASE_BITS = 48
+SIZE_BITS = 48
+ELEM_SIZE_BITS = 16
+ORDER_BITS = 3
+MAX_STREAMS = 1 << SID_BITS
+MAX_DIMS = 3
+
+# The 3-bit `order` argument encodes one of the 6 permutations of up to
+# three dimensions; index into this table (paper: "The order is given in
+# the 3-bit order argument").
+ORDER_PERMUTATIONS: tuple[tuple[int, ...], ...] = tuple(
+    itertools.permutations(range(MAX_DIMS))
+)
+
+
+def _check_width(name: str, value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name}={value} does not fit in {bits} bits (Table I)")
+
+
+@dataclass
+class StreamConfig:
+    """One stream's metadata (Table I).
+
+    ``dims`` is the element count along each dimension (innermost first);
+    a plain 1-D stream leaves ``dims`` empty and spans ``size // elem_size``
+    elements.  ``order`` selects the access-order permutation of the
+    dimensions; 0 is storage order.
+    """
+
+    sid: int
+    kind: StreamKind
+    base: int
+    size: int
+    elem_size: int
+    read_only: bool = True
+    dims: tuple[int, ...] = ()
+    order: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        _check_width("sid", self.sid, SID_BITS)
+        _check_width("base", self.base, BASE_BITS)
+        _check_width("size", self.size, SIZE_BITS)
+        if self.elem_size <= 0:
+            raise ValueError("elem_size must be positive")
+        _check_width("elem_size", self.elem_size, ELEM_SIZE_BITS)
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.size % self.elem_size != 0:
+            raise ValueError("size must be a whole number of elements")
+        _check_width("order", self.order, ORDER_BITS)
+        if len(self.dims) > MAX_DIMS:
+            raise ValueError(f"at most {MAX_DIMS} dimensions are supported")
+        if self.dims:
+            n = 1
+            for d in self.dims:
+                if d <= 0:
+                    raise ValueError("dimension lengths must be positive")
+                n *= d
+            if n != self.size // self.elem_size:
+                raise ValueError(
+                    "product of dims must equal the stream's element count"
+                )
+        if self.order != 0 and self.kind is not StreamKind.AFFINE:
+            raise ValueError("only affine streams support access reordering")
+        if self.order >= len(ORDER_PERMUTATIONS):
+            raise ValueError(f"order must be < {len(ORDER_PERMUTATIONS)}")
+        if not self.name:
+            self.name = f"stream{self.sid}"
+
+    @property
+    def n_elements(self) -> int:
+        return self.size // self.elem_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def is_affine(self) -> bool:
+        return self.kind is StreamKind.AFFINE
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def _storage_dims(self) -> tuple[int, ...]:
+        return self.dims if self.dims else (self.n_elements,)
+
+    def element_ids(self, addrs: np.ndarray) -> np.ndarray:
+        """Map byte addresses to element IDs *in access order*.
+
+        For ``order == 0`` the element ID is simply the storage index.
+        For reordered affine streams the hardware caches elements in their
+        access order (Section III/IV: "the hardware would cache the
+        elements following their access order"), so the element ID is the
+        position in the permuted iteration — this is what gives reordered
+        column-major scans their spatial locality in the cache.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        storage_idx = (addrs - self.base) // self.elem_size
+        if np.any((storage_idx < 0) | (storage_idx >= self.n_elements)):
+            raise ValueError("address outside stream bounds")
+        if self.order == 0 or len(self._storage_dims()) == 1:
+            return storage_idx
+        return self._permuted_index(storage_idx)
+
+    def _permuted_index(self, storage_idx: np.ndarray) -> np.ndarray:
+        """Storage index -> access-order index under the order permutation."""
+        dims = list(self._storage_dims())
+        while len(dims) < MAX_DIMS:
+            dims.append(1)
+        perm = ORDER_PERMUTATIONS[self.order]
+        # Storage coordinates (innermost dimension first).
+        coords = []
+        rest = storage_idx
+        for d in dims:
+            coords.append(rest % d)
+            rest = rest // d
+        # Access order iterates perm[0] innermost.
+        access_idx = np.zeros_like(storage_idx)
+        multiplier = 1
+        for axis in perm:
+            access_idx += coords[axis] * multiplier
+            multiplier *= dims[axis]
+        return access_idx
+
+    def addresses_of(self, element_ids: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`element_ids` (used by tests and generators)."""
+        element_ids = np.asarray(element_ids, dtype=np.int64)
+        if self.order == 0 or len(self._storage_dims()) == 1:
+            storage_idx = element_ids
+        else:
+            dims = list(self._storage_dims())
+            while len(dims) < MAX_DIMS:
+                dims.append(1)
+            perm = ORDER_PERMUTATIONS[self.order]
+            coords_by_axis: dict[int, np.ndarray] = {}
+            rest = element_ids
+            for axis in perm:
+                coords_by_axis[axis] = rest % dims[axis]
+                rest = rest // dims[axis]
+            storage_idx = np.zeros_like(element_ids)
+            multiplier = 1
+            for axis in range(MAX_DIMS):
+                storage_idx += coords_by_axis[axis] * multiplier
+                multiplier *= dims[axis]
+        return self.base + storage_idx * self.elem_size
+
+    def metadata_bits(self) -> int:
+        """Table I storage cost of this stream's metadata entry."""
+        common = SID_BITS + BASE_BITS + SIZE_BITS + ELEM_SIZE_BITS + 1
+        if self.is_affine:
+            return common + 48 * 3 + 48 * 2 + ORDER_BITS
+        return common
+
+
+class StreamTable:
+    """The set of configured streams, with vectorised address resolution.
+
+    Mirrors the host-side stream configuration store: streams occupy
+    disjoint address ranges (the paper associates one address with at most
+    one stream), and lookup maps an address to its stream id or -1.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[int, StreamConfig] = {}
+        self._sorted_bases: np.ndarray | None = None
+        self._sorted_ends: np.ndarray | None = None
+        self._sorted_sids: np.ndarray | None = None
+
+    def configure(self, stream: StreamConfig) -> StreamConfig:
+        if stream.sid in self._streams:
+            raise ValueError(f"stream id {stream.sid} already configured")
+        if len(self._streams) >= MAX_STREAMS:
+            raise ValueError(f"at most {MAX_STREAMS} streams are supported")
+        for other in self._streams.values():
+            if stream.base < other.end and other.base < stream.end:
+                raise ValueError(
+                    f"stream {stream.sid} overlaps stream {other.sid}; one "
+                    "address may belong to at most one stream"
+                )
+        self._streams[stream.sid] = stream
+        self._sorted_bases = None
+        return stream
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __iter__(self):
+        return iter(self._streams.values())
+
+    def __contains__(self, sid: int) -> bool:
+        return sid in self._streams
+
+    def get(self, sid: int) -> StreamConfig:
+        return self._streams[sid]
+
+    @property
+    def sids(self) -> list[int]:
+        return sorted(self._streams)
+
+    def _build_index(self) -> None:
+        streams = sorted(self._streams.values(), key=lambda s: s.base)
+        self._sorted_bases = np.array([s.base for s in streams], dtype=np.int64)
+        self._sorted_ends = np.array([s.end for s in streams], dtype=np.int64)
+        self._sorted_sids = np.array([s.sid for s in streams], dtype=np.int64)
+
+    def resize(self, sid: int, new_size: int) -> StreamConfig:
+        """Grow or shrink a stream in place (Section IV-C oversubscription).
+
+        Dynamic data structures over-allocate and update their stream
+        configuration on reallocation; the caller must invalidate the
+        stream's cached data afterwards (see
+        ``StreamCacheMapper.notify_resize``).  The resized range must not
+        collide with any other stream.
+        """
+        stream = self._streams[sid]
+        if new_size <= 0 or new_size % stream.elem_size != 0:
+            raise ValueError("new size must be a positive element multiple")
+        _check_width("size", new_size, SIZE_BITS)
+        if stream.dims:
+            raise ValueError("multi-dimensional streams cannot be resized")
+        new_end = stream.base + new_size
+        for other in self._streams.values():
+            if other.sid == sid:
+                continue
+            if stream.base < other.end and other.base < new_end:
+                raise ValueError(
+                    f"resizing stream {sid} would overlap stream {other.sid}"
+                )
+        stream.size = new_size
+        self._sorted_bases = None
+        return stream
+
+    def resolve(self, addrs: np.ndarray) -> np.ndarray:
+        """Map addresses to stream ids; -1 for addresses in no stream."""
+        if self._sorted_bases is None:
+            self._build_index()
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if len(self._streams) == 0:
+            return np.full(len(addrs), -1, dtype=np.int64)
+        pos = np.searchsorted(self._sorted_bases, addrs, side="right") - 1
+        valid = pos >= 0
+        pos_clip = np.clip(pos, 0, None)
+        inside = valid & (addrs < self._sorted_ends[pos_clip])
+        return np.where(inside, self._sorted_sids[pos_clip], -1)
+
+    def total_metadata_bits(self) -> int:
+        return sum(s.metadata_bits() for s in self._streams.values())
+
+
+def configure_stream(
+    table: StreamTable,
+    kind: str | StreamKind,
+    base: int,
+    size: int,
+    elem_size: int,
+    *,
+    dims: tuple[int, ...] = (),
+    order: int = 0,
+    sid: int | None = None,
+    read_only: bool = True,
+    name: str = "",
+) -> StreamConfig:
+    """The paper's ``configure_stream`` API, registering into ``table``.
+
+    ``sid`` is assigned automatically (next free id) when omitted.
+    """
+    if sid is None:
+        used = set(table.sids)
+        sid = next(i for i in range(MAX_STREAMS) if i not in used)
+    stream = StreamConfig(
+        sid=sid,
+        kind=StreamKind(kind) if isinstance(kind, str) else kind,
+        base=base,
+        size=size,
+        elem_size=elem_size,
+        dims=dims,
+        order=order,
+        read_only=read_only,
+        name=name,
+    )
+    return table.configure(stream)

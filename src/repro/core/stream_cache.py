@@ -1,0 +1,618 @@
+"""The stream cache: NDPExt's hardware caching scheme (Section IV).
+
+This module implements the full request path of Fig. 3: a post-L1 request
+looks up the local SLB to identify its stream and replication group, is
+hashed (or consistent-hashed) to the unit/row of the group that caches its
+element, and is then served by the affine tag array (SRAM tags over 1 kB
+blocks) or by the direct-mapped in-DRAM-tag layout for indirect streams.
+
+The mapper also carries the cache *contents* across epochs: at each
+reconfiguration it keeps the resident (location, tag) pairs, and requests
+in the next epoch whose first touch finds its tag still resident at the
+same physical location are served as warm hits.  Under plain hashing a
+resized stream reshuffles nearly everything (bulk invalidation); under
+consistent hashing most pairs stay put — exactly the Section V-D effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ata import AffineTagArray
+from repro.core.consistent import ConsistentRing, spots_of_group
+from repro.core.remap import RemapTable, StreamAllocation
+from repro.core.slb import StreamLookaheadBuffer
+from repro.core.stream import StreamConfig, StreamTable
+from repro.sim.cachesim import _prev_in_group, set_assoc_hits
+from repro.sim.engine import ReconfigStats, RequestOutcome
+from repro.sim.params import SystemConfig
+from repro.sim.topology import Topology
+from repro.util.hashing import bucket_array, mix64_array, weighted_bucket_array
+
+# Minimum DRAM transfer: one burst.
+BURST_BYTES = 64
+
+# Latency charged when a write hits a replicated read-only stream: the
+# exception traps to the host, which updates the remap table and sends
+# invalidates (Section IV-B).  Happens at most once per stream.
+WRITE_EXCEPTION_NS = 1000.0
+
+_SET_SID_SHIFT = 45
+_SET_UNIT_SHIFT = 33
+_SET_UNIT_MASK = (1 << 12) - 1
+_SET_IDX_MASK = (1 << 33) - 1
+
+
+def pack_set_id(sid: np.ndarray, unit: np.ndarray, set_idx: np.ndarray) -> np.ndarray:
+    """Physical set identity: (stream, unit, set index within the stream's
+    allocation in that unit).  Stable across epochs for unchanged shares."""
+    return (
+        (np.asarray(sid, dtype=np.int64) << _SET_SID_SHIFT)
+        | (np.asarray(unit, dtype=np.int64) << _SET_UNIT_SHIFT)
+        | np.asarray(set_idx, dtype=np.int64)
+    )
+
+
+def unpack_unit(set_ids: np.ndarray) -> np.ndarray:
+    return (np.asarray(set_ids, dtype=np.int64) >> _SET_UNIT_SHIFT) & _SET_UNIT_MASK
+
+
+def unpack_set_idx(set_ids: np.ndarray) -> np.ndarray:
+    return np.asarray(set_ids, dtype=np.int64) & _SET_IDX_MASK
+
+
+def _pair_keys(set_ids: np.ndarray, tags: np.ndarray) -> np.ndarray:
+    """Collision-resistant key for a (set, tag) pair (membership tests)."""
+    return mix64_array(
+        np.asarray(set_ids, dtype=np.uint64) ^ mix64_array(np.asarray(tags, dtype=np.uint64)),
+        salt=29,
+    ).astype(np.int64)
+
+
+@dataclass
+class GroupMapping:
+    """Precomputed mapping state for one replication group of one stream."""
+
+    gid: int
+    units: np.ndarray  # units with rows, ascending
+    shares: np.ndarray  # rows per unit (parallel to units)
+    row_base: np.ndarray  # starting row per unit (parallel to units)
+    sets_per_unit: np.ndarray  # cache sets per unit for this stream
+    ring: ConsistentRing | None = None
+
+    @property
+    def total_sets(self) -> int:
+        return int(self.sets_per_unit.sum())
+
+
+@dataclass
+class StreamMapping:
+    """Everything needed to map one stream's requests to cache locations."""
+
+    stream: StreamConfig
+    granularity: int  # caching granularity: block for affine, element for indirect
+    entries_per_row: int
+    ways: int
+    groups: list[GroupMapping] = field(default_factory=list)
+    group_of_unit: np.ndarray | None = None  # unit -> index into groups (or -1)
+
+    @property
+    def allocated(self) -> bool:
+        return any(g.total_sets > 0 for g in self.groups)
+
+
+@dataclass
+class ResidentState:
+    """Cache contents at the end of an epoch, per stream."""
+
+    set_ids: np.ndarray
+    tags: np.ndarray
+
+    def pair_keys(self) -> np.ndarray:
+        return np.sort(_pair_keys(self.set_ids, self.tags))
+
+
+class StreamCacheMapper:
+    """Maps requests to cache locations and simulates hits/misses."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        topology: Topology,
+        streams: StreamTable,
+        placement: str = "consistent",
+        indirect_ways: int | None = None,
+        affine_block_bytes: int | None = None,
+        affine_ways: int = 4,
+        warm_start: bool = True,
+    ) -> None:
+        if placement not in ("hash", "consistent"):
+            raise ValueError(f"unknown placement mode {placement!r}")
+        # Ablation knob: disable cross-epoch content persistence entirely
+        # (every epoch starts cold, as if every boundary bulk-invalidated).
+        self.warm_start = warm_start
+        self.config = config
+        self.topology = topology
+        self.streams = streams
+        self.placement = placement
+        self.row_bytes = config.ndp_dram.row_bytes
+        self.indirect_ways = (
+            indirect_ways if indirect_ways is not None else config.stream.indirect_ways
+        )
+        self.affine_ways = affine_ways
+        self.ata = AffineTagArray(
+            block_bytes=affine_block_bytes or config.stream.affine_block_bytes,
+            space_bytes=config.stream.affine_space_bytes,
+        )
+        self.slbs = [
+            StreamLookaheadBuffer(
+                entries=config.stream.slb_entries,
+                hit_ns=config.stream.slb_hit_ns,
+                refill_ns=config.stream.slb_refill_ns,
+            )
+            for _ in range(config.n_units)
+        ]
+        self._mappings: dict[int, StreamMapping] = {}
+        self._resident: dict[int, ResidentState] = {}
+        self._write_excepted: set[int] = set()
+        self._block_override: dict[int, int] = {}
+        self.table = RemapTable(config.n_units, config.rows_per_unit)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def granularity_of(self, stream: StreamConfig) -> int:
+        if stream.is_affine:
+            block = self._block_override.get(stream.sid, self.ata.block_bytes)
+            return max(block, stream.elem_size)
+        # Indirect elements are cached individually (tag with data), but
+        # never below the DRAM burst size: fetching a 4 B element moves a
+        # full burst anyway, so the burst is the natural caching unit.
+        return max(stream.elem_size, BURST_BYTES)
+
+    def set_block_override(self, sid: int, block_bytes: int) -> bool:
+        """Per-stream affine block size (the paper's "reconfigurable block
+        sizes" future work).  Changing a stream's block size reinterprets
+        its tags, so its cached contents are dropped.  Returns True if the
+        size actually changed."""
+        if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+            raise ValueError("block size must be a positive power of two")
+        current = self._block_override.get(sid, self.ata.block_bytes)
+        if block_bytes == current:
+            return False
+        self._block_override[sid] = block_bytes
+        self._resident.pop(sid, None)
+        stream = self.streams.get(sid) if sid in self.streams else None
+        if stream is not None and sid in self._mappings:
+            self._mappings[sid] = self._build_mapping(
+                stream, self.table.get_or_empty(sid)
+            )
+        return True
+
+    def _build_mapping(self, stream: StreamConfig, alloc: StreamAllocation) -> StreamMapping:
+        granularity = self.granularity_of(stream)
+        entries_per_row = max(1, self.row_bytes // granularity)
+        ways = self.affine_ways if stream.is_affine else self.indirect_ways
+        # A unit granted fewer entries than the associativity still forms
+        # one (narrower) set — small allocations must stay usable.
+        min_entries = int(
+            min(
+                (
+                    alloc.shares[u] * entries_per_row
+                    for u in range(len(alloc.shares))
+                    if alloc.shares[u] > 0
+                ),
+                default=ways,
+            )
+        )
+        ways = max(1, min(ways, min_entries))
+        mapping = StreamMapping(
+            stream=stream,
+            granularity=granularity,
+            entries_per_row=entries_per_row,
+            ways=ways,
+        )
+        n_units = self.config.n_units
+        group_of_unit = np.full(n_units, -1, dtype=np.int64)
+        for g_index, gid in enumerate(alloc.group_ids):
+            unit_sel = np.flatnonzero(alloc.groups == gid)
+            shares = alloc.shares[unit_sel]
+            row_base = alloc.row_base[unit_sel]
+            entries = shares * entries_per_row
+            sets_per_unit = np.maximum(entries // max(1, ways), 0)
+            ring = None
+            if self.placement == "consistent":
+                spots = spots_of_group(unit_sel, shares)
+                if spots:
+                    ring = ConsistentRing(spots, salt=stream.sid)
+            mapping.groups.append(
+                GroupMapping(
+                    gid=gid,
+                    units=unit_sel,
+                    shares=shares,
+                    row_base=row_base,
+                    sets_per_unit=sets_per_unit,
+                    ring=ring,
+                )
+            )
+            group_of_unit[unit_sel] = g_index
+        # Units outside every group are served by the nearest group.
+        if mapping.groups:
+            for unit in np.flatnonzero(group_of_unit == -1):
+                best = min(
+                    range(len(mapping.groups)),
+                    key=lambda gi: self.topology.mean_latency_from(
+                        int(unit), [int(u) for u in mapping.groups[gi].units]
+                    ),
+                )
+                group_of_unit[unit] = best
+        mapping.group_of_unit = group_of_unit
+        return mapping
+
+    def apply(self, allocations: list[StreamAllocation]) -> ReconfigStats:
+        """Install a new configuration; returns movement/invalidation stats."""
+        self.table.set_all(allocations)
+        stats = ReconfigStats()
+        new_mappings: dict[int, StreamMapping] = {}
+        for stream in self.streams:
+            alloc = self.table.get_or_empty(stream.sid)
+            new_mappings[stream.sid] = self._build_mapping(stream, alloc)
+        for sid, resident in list(self._resident.items()):
+            old = self._mappings.get(sid)
+            new = new_mappings.get(sid)
+            if old is None or new is None:
+                stats.invalidations += len(resident.set_ids)
+                del self._resident[sid]
+                continue
+            if self._same_layout(old, new):
+                continue  # everything stays put
+            preserved = self._still_resident(resident, new)
+            kept = int(preserved.sum())
+            dropped = len(preserved) - kept
+            stats.invalidations += dropped
+            stats.movements += kept
+            self._resident[sid] = ResidentState(
+                set_ids=resident.set_ids[preserved], tags=resident.tags[preserved]
+            )
+        self._mappings = new_mappings
+        for slb in self.slbs:
+            slb.invalidate()
+        return stats
+
+    @staticmethod
+    def _same_layout(old: StreamMapping, new: StreamMapping) -> bool:
+        if len(old.groups) != len(new.groups):
+            return False
+        for a, b in zip(old.groups, new.groups):
+            if not (
+                np.array_equal(a.units, b.units)
+                and np.array_equal(a.shares, b.shares)
+                and np.array_equal(a.row_base, b.row_base)
+            ):
+                return False
+        return True
+
+    def _still_resident(
+        self, resident: ResidentState, new: StreamMapping
+    ) -> np.ndarray:
+        """Which resident (set, tag) pairs remain valid under ``new``.
+
+        A pair survives iff the new mapping sends its tag to the same
+        physical set.  Under consistent hashing the ring keeps most tags
+        on their old (unit, row); under plain hashing a resize remaps
+        nearly all of them — the Section V-D contrast.
+        """
+        if not new.allocated:
+            return np.zeros(len(resident.set_ids), dtype=bool)
+        old_units = unpack_unit(resident.set_ids)
+        # Remap each resident tag within the new group that contains (or
+        # is nearest to) its old unit.
+        group_idx = new.group_of_unit[old_units]
+        new_sets = np.full(len(resident.tags), -1, dtype=np.int64)
+        for gi in np.unique(group_idx):
+            sel = group_idx == gi
+            group = new.groups[int(gi)]
+            if group.total_sets == 0:
+                continue
+            new_sets[sel] = self._map_to_sets(new, group, resident.tags[sel])
+        return new_sets == resident.set_ids
+
+    # ------------------------------------------------------------------
+    # Request mapping
+    # ------------------------------------------------------------------
+
+    def _map_to_sets(
+        self, mapping: StreamMapping, group: GroupMapping, tags: np.ndarray
+    ) -> np.ndarray:
+        """Map tags to packed physical set ids within one group."""
+        tags = np.asarray(tags, dtype=np.int64)
+        sid = mapping.stream.sid
+        if group.ring is not None:
+            spot = group.ring.lookup(tags)
+            units = group.ring.units_of(spot)
+            rows = group.ring.rows_of(spot)
+            sets_in_row = max(1, mapping.entries_per_row // max(1, mapping.ways))
+            col = bucket_array(tags.astype(np.uint64), sets_in_row, salt=sid * 7 + 3)
+            set_idx = rows * sets_in_row + col
+            return pack_set_id(np.full_like(tags, sid), units, set_idx)
+        # Plain hashing: unit proportional to shares, then set within unit.
+        unit_choice = weighted_bucket_array(
+            tags.astype(np.uint64), group.shares, salt=sid * 13 + 1
+        )
+        units = group.units[unit_choice]
+        sets_per_unit = group.sets_per_unit[unit_choice]
+        sets_per_unit = np.maximum(sets_per_unit, 1)
+        set_idx = (
+            mix64_array(tags.astype(np.uint64), salt=sid * 31 + 5)
+            % sets_per_unit.astype(np.uint64)
+        ).astype(np.int64)
+        return pack_set_id(np.full_like(tags, sid), units, set_idx)
+
+    def _local_rows(self, mapping: StreamMapping, group: GroupMapping, set_ids: np.ndarray) -> np.ndarray:
+        """Physical DRAM row (unit-local) of each set."""
+        units = unpack_unit(set_ids)
+        set_idx = unpack_set_idx(set_ids)
+        sets_in_row = max(1, mapping.entries_per_row // max(1, mapping.ways))
+        row_in_alloc = set_idx // sets_in_row
+        # Translate via the group's row base for each unit.
+        base = np.zeros(len(set_ids), dtype=np.int64)
+        for unit, row_base in zip(group.units, group.row_base):
+            base[units == unit] = row_base
+        return base + row_in_alloc
+
+    # ------------------------------------------------------------------
+    # Epoch processing
+    # ------------------------------------------------------------------
+
+    def process(self, epoch) -> RequestOutcome:
+        n = len(epoch)
+        serving_unit = np.full(n, -1, dtype=np.int64)
+        local_row = np.full(n, -1, dtype=np.int64)
+        hit = np.zeros(n, dtype=bool)
+        probe = np.zeros(n, dtype=bool)
+        metadata_ns = np.zeros(n, dtype=np.float64)
+        req_unit = epoch.core.astype(np.int64) % self.config.n_units
+
+        # --- SLB lookups, per unit (exact LRU over stream transitions). ---
+        for unit in np.unique(req_unit):
+            sel = req_unit == unit
+            result = self.slbs[int(unit)].process(epoch.sid[sel])
+            metadata_ns[sel] = result.latency_ns
+
+        # --- Write exceptions: replicated read-only stream gets written. ---
+        extra_exception_ns = self._handle_write_exceptions(epoch, metadata_ns)
+        metadata_ns += extra_exception_ns
+
+        set_ids = np.full(n, -1, dtype=np.int64)
+        tags = np.full(n, -1, dtype=np.int64)
+        ways = np.ones(n, dtype=np.int64)
+
+        for sid in np.unique(epoch.sid):
+            if sid < 0:
+                continue  # bypass: not a stream element
+            mapping = self._mappings.get(int(sid))
+            if mapping is None or not mapping.allocated:
+                continue  # no cache space: stream goes to extended memory
+            mask = epoch.sid == sid
+            stream = mapping.stream
+            elems = stream.element_ids(epoch.addr[mask])
+            elems_per_tag = max(1, mapping.granularity // stream.elem_size)
+            stream_tags = elems // elems_per_tag
+            group_idx = mapping.group_of_unit[req_unit[mask]]
+            sid_sets = np.full(int(mask.sum()), -1, dtype=np.int64)
+            sid_rows = np.full(int(mask.sum()), -1, dtype=np.int64)
+            sid_units = np.full(int(mask.sum()), -1, dtype=np.int64)
+            for gi in np.unique(group_idx):
+                group = mapping.groups[int(gi)]
+                gsel = group_idx == gi
+                if group.total_sets == 0:
+                    continue
+                gsets = self._map_to_sets(mapping, group, stream_tags[gsel])
+                sid_sets[gsel] = gsets
+                sid_rows[gsel] = self._local_rows(mapping, group, gsets)
+                sid_units[gsel] = unpack_unit(gsets)
+            placed = sid_sets >= 0
+            idx = np.flatnonzero(mask)
+            set_ids[idx[placed]] = sid_sets[placed]
+            tags[idx[placed]] = stream_tags[placed]
+            local_row[idx[placed]] = sid_rows[placed]
+            serving_unit[idx[placed]] = sid_units[placed]
+            ways[idx[placed]] = mapping.ways
+            probe[idx[placed]] = not stream.is_affine
+
+        cached = set_ids >= 0
+
+        # --- Hit/miss simulation, split by associativity. ---
+        for w in np.unique(ways[cached]):
+            wsel = cached & (ways == w)
+            hit[wsel] = set_assoc_hits(set_ids[wsel], tags[wsel], int(w))
+
+        # --- Warm-start rescue from the previous epoch's contents. ---
+        rescued = self._rescue(epoch, set_ids, tags, cached, hit)
+
+        # --- Indirect streams probe DRAM even on a miss (in-DRAM tags). ---
+        probe = probe & cached & ~hit
+
+        self._record_resident(epoch, set_ids, tags, cached, ways)
+
+        return RequestOutcome(
+            hit=hit,
+            serving_unit=serving_unit,
+            local_row=local_row,
+            miss_probe_dram=probe,
+            metadata_ns=metadata_ns,
+            metadata_dram_accesses=0,
+            rescued_first_touches=rescued,
+        )
+
+    def _handle_write_exceptions(self, epoch, metadata_ns: np.ndarray) -> np.ndarray:
+        extra = np.zeros(len(epoch), dtype=np.float64)
+        written = np.unique(epoch.sid[epoch.write & (epoch.sid >= 0)])
+        for sid in written:
+            sid = int(sid)
+            if sid in self._write_excepted:
+                continue
+            mapping = self._mappings.get(sid)
+            if mapping is None:
+                continue
+            stream = mapping.stream
+            if not stream.read_only:
+                continue
+            self._write_excepted.add(sid)
+            stream.read_only = False
+            if len(mapping.groups) > 1:
+                # Collapse to a single copy: invalidate the replicas and
+                # charge the exception on the first write.
+                self._resident.pop(sid, None)
+                self._collapse_groups(mapping)
+            first_write = int(
+                np.flatnonzero(epoch.write & (epoch.sid == sid))[0]
+            )
+            extra[first_write] += WRITE_EXCEPTION_NS
+        return extra
+
+    def _collapse_groups(self, mapping: StreamMapping) -> None:
+        """Merge all replication groups into one (single coherent copy)."""
+        units = np.concatenate([g.units for g in mapping.groups])
+        shares = np.concatenate([g.shares for g in mapping.groups])
+        row_base = np.concatenate([g.row_base for g in mapping.groups])
+        order = np.argsort(units, kind="stable")
+        entries_per_row = mapping.entries_per_row
+        merged = GroupMapping(
+            gid=0,
+            units=units[order],
+            shares=shares[order],
+            row_base=row_base[order],
+            sets_per_unit=np.maximum(
+                shares[order] * entries_per_row // max(1, mapping.ways), 0
+            ),
+            ring=(
+                ConsistentRing(
+                    spots_of_group(units[order], shares[order]),
+                    salt=mapping.stream.sid,
+                )
+                if self.placement == "consistent" and shares.sum() > 0
+                else None
+            ),
+        )
+        mapping.groups = [merged]
+        mapping.group_of_unit = np.zeros(self.config.n_units, dtype=np.int64)
+
+    def _rescue(
+        self,
+        epoch,
+        set_ids: np.ndarray,
+        tags: np.ndarray,
+        cached: np.ndarray,
+        hit: np.ndarray,
+    ) -> int:
+        """Convert first-touch misses whose tag is still resident at the
+        same physical set into warm hits."""
+        rescued_total = 0
+        if not self.warm_start or not self._resident:
+            return 0
+        pair = _pair_keys(set_ids, tags)
+        prev_idx, _ = _prev_in_group(pair, pair)
+        first_touch = cached & (prev_idx < 0) & ~hit
+        if not first_touch.any():
+            return 0
+        for sid in np.unique(epoch.sid[first_touch]):
+            resident = self._resident.get(int(sid))
+            if resident is None or len(resident.set_ids) == 0:
+                continue
+            sel = first_touch & (epoch.sid == sid)
+            keys = pair[sel]
+            resident_keys = resident.pair_keys()
+            pos = np.searchsorted(resident_keys, keys)
+            pos = np.clip(pos, 0, len(resident_keys) - 1)
+            found = resident_keys[pos] == keys
+            hit_idx = np.flatnonzero(sel)[found]
+            hit[hit_idx] = True
+            rescued_total += len(hit_idx)
+        return rescued_total
+
+    def _record_resident(
+        self,
+        epoch,
+        set_ids: np.ndarray,
+        tags: np.ndarray,
+        cached: np.ndarray,
+        ways: np.ndarray,
+    ) -> None:
+        """Remember what each stream's sets hold at the end of this epoch.
+
+        For each set we keep the last ``ways`` distinct tags touched —
+        exactly the contents for a direct-mapped cache, and the recency
+        approximation used by :func:`set_assoc_hits` for W > 1.
+        """
+        if not cached.any():
+            return
+        sids = epoch.sid[cached]
+        c_sets = set_ids[cached]
+        c_tags = tags[cached]
+        c_ways = ways[cached]
+        seq = np.arange(len(c_sets), dtype=np.int64)
+        # Last occurrence of each (set, tag) pair.
+        pair = _pair_keys(c_sets, c_tags)
+        order = np.lexsort((seq, pair))
+        last_of_pair = np.ones(len(order), dtype=bool)
+        last_of_pair[:-1] = pair[order][1:] != pair[order][:-1]
+        keep = order[last_of_pair]
+        k_sets, k_tags, k_seq = c_sets[keep], c_tags[keep], seq[keep]
+        k_sids, k_ways = sids[keep], c_ways[keep]
+        # Rank pairs within each set by recency; keep rank < ways.
+        order2 = np.lexsort((-k_seq, k_sets))
+        s_sets = k_sets[order2]
+        new_set = np.ones(len(order2), dtype=bool)
+        new_set[1:] = s_sets[1:] != s_sets[:-1]
+        rank = np.arange(len(order2)) - np.maximum.accumulate(
+            np.where(new_set, np.arange(len(order2)), 0)
+        )
+        resident_mask = rank < k_ways[order2]
+        r_idx = order2[resident_mask]
+        for sid in np.unique(k_sids[r_idx]):
+            ssel = k_sids[r_idx] == sid
+            self._resident[int(sid)] = ResidentState(
+                set_ids=k_sets[r_idx][ssel], tags=k_tags[r_idx][ssel]
+            )
+
+    def notify_resize(self, sid: int) -> int:
+        """Handle a stream reallocation (Section IV-C oversubscription).
+
+        The host updates the stream configuration and invalidates the
+        stream's cached data; untouched (over-allocated) space was never
+        cached, so only the previously resident entries are dropped.
+        Returns the number of invalidated entries.
+        """
+        resident = self._resident.pop(sid, None)
+        stream = self.streams.get(sid)
+        if sid in self._mappings:
+            self._mappings[sid] = self._build_mapping(
+                stream, self.table.get_or_empty(sid)
+            )
+        for slb in self.slbs:
+            slb.invalidate()
+        return len(resident.set_ids) if resident is not None else 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def sram_bytes_per_unit(self) -> int:
+        """On-chip SRAM added per NDP unit (Section VI accounting)."""
+        sampler_bytes = (
+            self.config.stream.samplers_per_unit
+            * self.config.stream.sampler_sets
+            * self.config.stream.sampler_points
+            * 4
+        )
+        bitvector_bytes = self.config.stream.max_streams // 8
+        return (
+            self.slbs[0].sram_bytes
+            + self.ata.sram_bytes
+            + sampler_bytes
+            + bitvector_bytes
+        )

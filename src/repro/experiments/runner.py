@@ -1,0 +1,154 @@
+"""Shared experiment infrastructure.
+
+Every figure/table reproduction builds on the same three ingredients: a
+system preset, a workload scale, and a set of policies.  This module
+centralizes policy construction, runs simulations with an in-process
+result cache (experiments share many (workload, policy) cells — e.g.
+Fig. 5, 6 and 7 all need the Nexus runs), and provides the speedup
+arithmetic the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines import (
+    HostJigsawPolicy,
+    JigsawPolicy,
+    NdpExtStaticPolicy,
+    NexusPolicy,
+    StaticNucaPolicy,
+    WhirlpoolPolicy,
+    host_config,
+)
+from repro.core import NdpExtPolicy
+from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
+from repro.sim.params import medium, paper_hbm, paper_hmc
+from repro.util import geomean
+from repro.workloads import SMALL, TINY, WorkloadScale, build
+from repro.workloads.trace import Workload
+
+POLICIES: dict[str, Callable[[], object]] = {
+    "jigsaw": JigsawPolicy,
+    "whirlpool": WhirlpoolPolicy,
+    "nexus": NexusPolicy,
+    "ndpext-static": NdpExtStaticPolicy,
+    "ndpext": NdpExtPolicy,
+    "static-nuca": StaticNucaPolicy,
+}
+
+PRESETS: dict[str, Callable[[], SystemConfig]] = {
+    "small": small,
+    "small-hmc": lambda: small("hmc"),
+    "medium": medium,
+    "tiny": tiny,
+    "paper": paper_hbm,
+    "paper-hmc": paper_hmc,
+}
+
+MEDIUM_SCALE = SMALL.scaled(
+    n_cores=32, footprint_bytes=SMALL.footprint_bytes * 2, processes=8
+)
+
+SCALES: dict[str, WorkloadScale] = {
+    "small": SMALL,
+    "small-hmc": SMALL,
+    "medium": MEDIUM_SCALE,
+    "tiny": TINY,
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Caches workloads and simulation reports across experiments."""
+
+    preset: str = "small"
+    _workloads: dict[tuple, Workload] = field(default_factory=dict)
+    _reports: dict[tuple, SimulationReport] = field(default_factory=dict)
+
+    @property
+    def config(self) -> SystemConfig:
+        return PRESETS[self.preset]()
+
+    @property
+    def scale(self) -> WorkloadScale:
+        return SCALES.get(self.preset, SMALL)
+
+    def workload(self, name: str, scale: WorkloadScale | None = None) -> Workload:
+        scale = scale or self.scale
+        key = (name, scale)
+        if key not in self._workloads:
+            self._workloads[key] = build(name, scale)
+        return self._workloads[key]
+
+    def run(
+        self,
+        workload_name: str,
+        policy_name: str,
+        config: SystemConfig | None = None,
+        policy_factory: Callable[[], object] | None = None,
+        scale: WorkloadScale | None = None,
+        cache_key: str = "",
+    ) -> SimulationReport:
+        """Run (or fetch) one simulation cell."""
+        config = config or self.config
+        key = (workload_name, policy_name, config.name, cache_key, scale)
+        if key in self._reports:
+            return self._reports[key]
+        workload = self.workload(workload_name, scale)
+        factory = policy_factory or POLICIES[policy_name]
+        engine = SimulationEngine(config)
+        report = engine.run(workload, factory())
+        self._reports[key] = report
+        return report
+
+    def run_host(self, workload_name: str, scale: WorkloadScale | None = None) -> SimulationReport:
+        """The non-NDP host baseline for the same workload."""
+        return self.run(
+            workload_name,
+            "host",
+            config=host_config(self.config),
+            policy_factory=HostJigsawPolicy,
+            scale=scale,
+        )
+
+
+# A module-level default context so benchmarks share cached results
+# within one pytest session.
+DEFAULT_CONTEXT = ExperimentContext()
+
+
+def speedup_table(
+    context: ExperimentContext,
+    workload_names: list[str],
+    policy_names: list[str],
+    baseline: str = "host",
+) -> dict[str, dict[str, float]]:
+    """Speedups of each policy over the baseline, per workload.
+
+    Mirrors Fig. 5's normalization: every bar is runtime(baseline) /
+    runtime(policy).
+    """
+    table: dict[str, dict[str, float]] = {}
+    for wname in workload_names:
+        base = (
+            context.run_host(wname)
+            if baseline == "host"
+            else context.run(wname, baseline)
+        )
+        table[wname] = {}
+        for pname in policy_names:
+            report = context.run(wname, pname)
+            table[wname][pname] = base.runtime_cycles / report.runtime_cycles
+    return table
+
+
+def add_geomean_row(table: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
+    policies = next(iter(table.values())).keys() if table else []
+    table = dict(table)
+    table["geomean"] = {
+        p: geomean([row[p] for w, row in table.items() if w != "geomean"])
+        for p in policies
+    }
+    return table

@@ -1,0 +1,84 @@
+"""Simulation substrate: topology, DRAM/CXL timing, caches, the engine."""
+
+from repro.sim.cachesim import (
+    cold_miss_count,
+    direct_mapped_hits,
+    recency_hits,
+    set_assoc_hits,
+)
+from repro.sim.cxl import ExtendedMemory
+from repro.sim.dram import DramModel
+from repro.sim.engine import (
+    DramCachePolicy,
+    EngineOptions,
+    ReconfigStats,
+    RequestOutcome,
+    SimulationEngine,
+)
+from repro.sim.metrics import (
+    EnergyBreakdown,
+    HitStats,
+    LatencyBreakdown,
+    SimulationReport,
+)
+from repro.sim.params import (
+    DDR5_4800,
+    GB,
+    HBM3,
+    HMC2,
+    KB,
+    MB,
+    CoreParams,
+    CxlParams,
+    DramTiming,
+    NocParams,
+    SramCacheParams,
+    StreamCacheParams,
+    SystemConfig,
+    medium,
+    paper_hbm,
+    paper_hmc,
+    small,
+    tiny,
+)
+from repro.sim.sram_cache import SetAssocLRUCache, filter_through_l1
+from repro.sim.topology import Topology
+
+__all__ = [
+    "cold_miss_count",
+    "direct_mapped_hits",
+    "recency_hits",
+    "set_assoc_hits",
+    "ExtendedMemory",
+    "DramModel",
+    "DramCachePolicy",
+    "EngineOptions",
+    "ReconfigStats",
+    "RequestOutcome",
+    "SimulationEngine",
+    "EnergyBreakdown",
+    "HitStats",
+    "LatencyBreakdown",
+    "SimulationReport",
+    "DDR5_4800",
+    "GB",
+    "HBM3",
+    "HMC2",
+    "KB",
+    "MB",
+    "CoreParams",
+    "CxlParams",
+    "DramTiming",
+    "NocParams",
+    "SramCacheParams",
+    "StreamCacheParams",
+    "SystemConfig",
+    "medium",
+    "paper_hbm",
+    "paper_hmc",
+    "small",
+    "tiny",
+    "SetAssocLRUCache",
+    "filter_through_l1",
+    "Topology",
+]

@@ -1,0 +1,476 @@
+"""The trace-driven simulation engine.
+
+The engine owns everything policy-independent: epoch splitting, L1
+filtering, interconnect and DRAM timing, extended-memory misses, energy
+accounting, and the in-order-core runtime model.  A *DRAM-cache policy*
+(NDPExt's stream cache, or one of the NUCA baselines) plugs in through
+:class:`DramCachePolicy` and decides, for each post-L1 request: whether it
+hits, which unit serves it, which local DRAM row it touches, and what
+metadata cost it pays.
+
+Per epoch the flow is::
+
+    trace epoch -> L1 filter (per core) -> policy.process() ->
+    engine charges NoC + DRAM + CXL latency/energy -> policy.end_epoch()
+
+Runtime follows the paper's in-order cores: a core's time is its compute
+cycles plus the sum of its memory latencies; the workload finishes when
+the slowest core does.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cachesim import _prev_in_group
+from repro.sim.cxl import ExtendedMemory
+from repro.sim.dram import DramModel
+from repro.sim.metrics import (
+    EnergyBreakdown,
+    HitStats,
+    LatencyBreakdown,
+    SimulationReport,
+)
+from repro.sim.params import CACHELINE_BYTES, SystemConfig
+from repro.sim.sram_cache import filter_through_l1
+from repro.sim.topology import Topology
+from repro.workloads.trace import Trace, Workload
+
+# Interconnect message sizes: a request carries a header, a response
+# carries the data plus a header.
+HEADER_BYTES = 16
+
+# Static power per NDP unit (core + logic-die periphery).  The paper's
+# Fig. 6 shows static energy tracking execution time; the absolute value
+# only scales that component.
+STATIC_W_PER_UNIT = 0.2
+
+# Affine (sequential/strided) accesses are prefetchable — the stream
+# literature the paper builds on ([74]-[76]) exists precisely to overlap
+# them — so an in-order core hides most of their latency.  Indirect
+# accesses are data-dependent and serialize.  The same factor applies to
+# the host (hardware stride prefetchers achieve the equivalent).
+AFFINE_MLP = 4.0
+
+
+@dataclass
+class RequestOutcome:
+    """Per-request decisions returned by a policy for one epoch.
+
+    All arrays are parallel to the post-L1 epoch trace.
+
+    * ``hit`` — served by the NDP DRAM cache.
+    * ``serving_unit`` — unit whose DRAM serves a hit / receives the fill
+      on a miss; -1 means the request bypasses the cache entirely.
+    * ``local_row`` — DRAM row (unit-local) the access touches; used for
+      row-buffer simulation.  Ignored where ``serving_unit`` is -1.
+    * ``miss_probe_dram`` — True when discovering the miss itself required
+      a DRAM touch at the home unit (in-DRAM tags for indirect streams and
+      for the cacheline baselines' tag-with-data layout).
+    * ``metadata_ns`` — per-request metadata latency on the critical path
+      (SLB hit/refill for NDPExt; metadata-cache hit/miss for baselines).
+    * ``metadata_dram_accesses`` — count of extra in-DRAM metadata
+      accesses (energy accounting).
+    """
+
+    hit: np.ndarray
+    serving_unit: np.ndarray
+    local_row: np.ndarray
+    miss_probe_dram: np.ndarray
+    metadata_ns: np.ndarray
+    metadata_dram_accesses: int = 0
+    rescued_first_touches: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.hit)
+        for name in ("serving_unit", "local_row", "miss_probe_dram", "metadata_ns"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(
+                    f"RequestOutcome.{name} has length "
+                    f"{len(getattr(self, name))}, expected {n}"
+                )
+        if bool(np.any(self.hit & (self.serving_unit < 0))):
+            raise ValueError("a hit must name the unit that served it")
+
+
+@dataclass
+class ReconfigStats:
+    """What a reconfiguration did at an epoch boundary."""
+
+    movements: int = 0
+    invalidations: int = 0
+
+
+class DramCachePolicy(ABC):
+    """Interface every DRAM-cache management scheme implements."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def setup(
+        self, config: SystemConfig, topology: Topology, workload: Workload
+    ) -> None:
+        """Bind to a system and workload before the first epoch."""
+
+    def begin_epoch(self, epoch_idx: int) -> ReconfigStats:
+        """Reconfigure for the coming epoch; default: nothing changes."""
+        return ReconfigStats()
+
+    @abstractmethod
+    def process(self, epoch: Trace) -> RequestOutcome:
+        """Decide hit/miss and serving location for each request."""
+
+    def end_epoch(self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome) -> None:
+        """Observe the finished epoch (profiling input for reconfiguration)."""
+
+
+@dataclass
+class EngineOptions:
+    """Engine knobs that are not part of the system description."""
+
+    exact_l1: bool = False
+    max_epochs: int | None = None
+    cxl_port_unit: int = 0
+
+
+class SimulationEngine:
+    """Runs one workload under one policy on one system configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        options: EngineOptions | None = None,
+    ) -> None:
+        self.config = config
+        self.options = options or EngineOptions()
+        self.topology = Topology(config)
+        self.ndp_dram = DramModel(config.ndp_dram)
+        self.extended = ExtendedMemory(config.cxl, config.ext_dram)
+        self._ext_accesses = 0
+        self._inter_stack_bytes = 0
+
+    def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
+        policy.setup(self.config, self.topology, workload)
+        # Per-sid affine flag for the prefetch-overlap (MLP) model.
+        max_sid = max((s.sid for s in workload.streams), default=-1)
+        self._sid_affine = np.zeros(max_sid + 2, dtype=bool)
+        for stream in workload.streams:
+            self._sid_affine[stream.sid] = stream.is_affine
+        epochs = workload.trace.epochs(self.config.epoch_accesses)
+        if self.options.max_epochs is not None:
+            epochs = epochs[: self.options.max_epochs]
+
+        # The trace may carry more logical cores (threads) than the system
+        # has physical units; threads are assigned round-robin and a
+        # unit's time is the sum of its threads' times (in-order cores).
+        n_threads = max(workload.trace.n_cores, 1)
+        core_stall_ns = np.zeros(n_threads)
+        core_accesses = np.zeros(n_threads, dtype=np.int64)
+        self._ext_accesses = 0
+        self._inter_stack_bytes = 0
+        breakdown = LatencyBreakdown()
+        energy = EnergyBreakdown()
+        hits = HitStats()
+        movements = 0
+        invalidations = 0
+        per_epoch_cycles: list[float] = []
+
+        for epoch_idx, epoch in enumerate(epochs):
+            stats = policy.begin_epoch(epoch_idx)
+            movements += stats.movements
+            invalidations += stats.invalidations
+
+            post_l1, l1_result = self._l1_filter(epoch)
+            hits.l1_hits += l1_result["hits"]
+            l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
+            breakdown.sram_ns += l1_ns
+            energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ per L1 access
+
+            np.add.at(core_accesses, epoch.core, 1)
+            np.add.at(
+                core_stall_ns,
+                epoch.core[l1_result["mask"]],
+                self.config.core.l1d.hit_ns,
+            )
+
+            if len(post_l1):
+                outcome = policy.process(post_l1)
+                epoch_stall, ext_mask = self._charge(
+                    post_l1, outcome, breakdown, energy, hits
+                )
+                queue_ns = self._queueing_delay(
+                    post_l1, epoch_stall, ext_mask, workload
+                )
+                if queue_ns > 0:
+                    in_stream = post_l1.sid >= 0
+                    affine = self._sid_affine[
+                        np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
+                    ] & in_stream
+                    observed = np.full(len(post_l1), queue_ns)
+                    observed[affine] /= AFFINE_MLP
+                    observed[in_stream & ~affine] /= self.config.indirect_mlp
+                    epoch_stall[ext_mask] += observed[ext_mask]
+                    breakdown.extended_ns += queue_ns * int(ext_mask.sum())
+                np.add.at(core_stall_ns, post_l1.core, epoch_stall)
+            else:
+                outcome = None
+
+            if outcome is not None:
+                policy.end_epoch(epoch_idx, post_l1, outcome)
+            per_epoch_cycles.append(self._runtime_cycles(core_stall_ns, core_accesses, workload))
+
+        runtime_cycles = self._runtime_cycles(core_stall_ns, core_accesses, workload)
+        runtime_ns = runtime_cycles * self.config.core.cycle_ns
+        energy.static_nj += STATIC_W_PER_UNIT * self.config.n_units * runtime_ns
+
+        return SimulationReport(
+            policy=policy.name,
+            workload=workload.name,
+            runtime_cycles=runtime_cycles,
+            breakdown=breakdown,
+            energy=energy,
+            hits=hits,
+            reconfig_movements=movements,
+            reconfig_invalidations=invalidations,
+            per_epoch_cycles=per_epoch_cycles,
+        )
+
+    def _runtime_cycles(
+        self,
+        core_stall_ns: np.ndarray,
+        core_accesses: np.ndarray,
+        workload: Workload,
+    ) -> float:
+        compute_cycles = core_accesses * workload.compute_cycles_per_access
+        thread_cycles = compute_cycles + core_stall_ns / self.config.core.cycle_ns
+        unit_cycles = np.zeros(self.config.n_units)
+        units = np.arange(len(thread_cycles)) % self.config.n_units
+        np.add.at(unit_cycles, units, thread_cycles)
+        core_bound = float(np.max(unit_cycles)) if len(unit_cycles) else 0.0
+        bw_bound = self._bandwidth_bound_ns() / self.config.core.cycle_ns
+        return max(core_bound, bw_bound)
+
+    # Queueing delay is capped at this utilization: beyond it the open
+    # M/D/1-style estimate diverges and real systems throttle instead.
+    MAX_UTILIZATION = 0.95
+
+    def _ext_service_ns(self) -> float:
+        """Time one access occupies an extended-memory channel."""
+        ext = self.config.ext_dram
+        channel_bytes_per_ns = ext.freq_mhz * 16.0 / 1000.0
+        return CACHELINE_BYTES / channel_bytes_per_ns + ext.row_miss_ns / ext.banks
+
+    def _queueing_delay(
+        self,
+        epoch: Trace,
+        epoch_stall: np.ndarray,
+        ext_mask: np.ndarray,
+        workload: Workload,
+    ) -> float:
+        """Per-miss queueing delay at the shared extended memory.
+
+        The channels behind the CXL device (or the host's DDR bus) are a
+        shared server: with many in-order cores missing concurrently,
+        waiting time grows as utilization approaches 1 (M/D/1-style
+        rho/(2(1-rho)) scaling).  The epoch duration is estimated from
+        the already-charged latencies, iterated once so the added delay
+        feeds back into the utilization estimate.
+        """
+        n_ext = int(ext_mask.sum())
+        if n_ext == 0:
+            return 0.0
+        service = self._ext_service_ns() / self.config.cxl.channels
+        queue_ns = 0.0
+        for _ in range(2):
+            duration = self._epoch_duration_ns(
+                epoch, epoch_stall + queue_ns * ext_mask, workload
+            )
+            if duration <= 0:
+                return 0.0
+            rho = min(n_ext * service / duration, self.MAX_UTILIZATION)
+            queue_ns = service * rho / (2.0 * max(1e-9, 1.0 - rho))
+        return queue_ns
+
+    def _epoch_duration_ns(
+        self, epoch: Trace, epoch_stall: np.ndarray, workload: Workload
+    ) -> float:
+        """Wall-clock estimate of one epoch: the busiest unit's time."""
+        unit = epoch.core.astype(np.int64) % self.config.n_units
+        unit_ns = np.zeros(self.config.n_units)
+        np.add.at(unit_ns, unit, epoch_stall)
+        compute = np.zeros(self.config.n_units)
+        np.add.at(
+            compute,
+            unit,
+            workload.compute_cycles_per_access * self.config.core.cycle_ns,
+        )
+        return float(np.max(unit_ns + compute))
+
+    def _bandwidth_bound_ns(self) -> float:
+        """Roofline bound from shared next-level-memory bandwidth.
+
+        Every cache miss occupies an extended-memory DDR channel (burst
+        transfer plus its share of bank-level row cycling) and the CXL
+        link.  Many cores hammering few channels makes this the binding
+        constraint — the regime that motivates NDP in the first place.
+        """
+        bounds = [0.0]
+        n_ext = self._ext_accesses
+        if n_ext:
+            ext = self.config.ext_dram
+            # Per-channel DDR bandwidth: freq x 2 (DDR) x 8 bytes per beat.
+            channel_bytes_per_ns = ext.freq_mhz * 16.0 / 1000.0
+            ddr_service_ns = (
+                CACHELINE_BYTES / channel_bytes_per_ns + ext.row_miss_ns / ext.banks
+            )
+            bounds.append(n_ext * ddr_service_ns / self.config.cxl.channels)
+            # CXL link: ~4 GB/s usable per lane per direction.
+            link_bytes_per_ns = 4.0 * self.config.cxl.lanes
+            bounds.append(n_ext * CACHELINE_BYTES / link_bytes_per_ns)
+        if self._inter_stack_bytes:
+            # Inter-stack links: Table II's 32 GB/s per direction, one
+            # bidirectional link per stack-mesh edge.
+            cfg = self.config
+            links = max(
+                1,
+                (cfg.stacks_x - 1) * cfg.stacks_y
+                + (cfg.stacks_y - 1) * cfg.stacks_x,
+            )
+            noc_bytes_per_ns = cfg.noc.inter_bw_gbps * links  # GB/s == B/ns
+            bounds.append(self._inter_stack_bytes / noc_bytes_per_ns)
+        return max(bounds)
+
+    def _l1_filter(self, epoch: Trace) -> tuple[Trace, dict]:
+        """Filter the epoch through each core's L1D; return the miss trace."""
+        mask = np.zeros(len(epoch), dtype=bool)
+        for core in np.unique(epoch.core):
+            sel = epoch.core == core
+            result = filter_through_l1(
+                epoch.addr[sel], self.config.core.l1d, exact=self.options.exact_l1
+            )
+            mask[sel] = result.hit_mask
+        post = epoch.select(~mask)
+        return post, {"mask": mask, "hits": int(mask.sum()), "total": len(epoch)}
+
+    def _charge(
+        self,
+        trace: Trace,
+        outcome: RequestOutcome,
+        breakdown: LatencyBreakdown,
+        energy: EnergyBreakdown,
+        hits: HitStats,
+    ) -> np.ndarray:
+        """Charge latency/energy for one epoch; returns per-request stall ns."""
+        n = len(trace)
+        stall = np.array(outcome.metadata_ns, dtype=np.float64, copy=True)
+        breakdown.metadata_ns += float(stall.sum())
+
+        core_unit = trace.core.astype(np.int64) % self.config.n_units
+        serving = outcome.serving_unit
+        hit = outcome.hit
+        cached = serving >= 0
+        serving_clip = np.clip(serving, 0, None)
+
+        # --- Interconnect: request to home unit and response back. ---
+        noc_ns = np.zeros(n)
+        one_way = self.topology.latency_ns[core_unit, serving_clip]
+        noc_ns[cached] = 2.0 * one_way[cached]
+        intra_part = (
+            self.topology.intra_hops[core_unit, serving_clip]
+            * self.config.noc.intra_hop_ns
+        )
+        inter_part = (
+            self.topology.inter_hops[core_unit, serving_clip]
+            * self.config.noc.inter_hop_ns
+        )
+        breakdown.intra_noc_ns += float(2.0 * intra_part[cached].sum())
+        breakdown.inter_noc_ns += float(2.0 * inter_part[cached].sum())
+
+        msg_bits = (CACHELINE_BYTES + 2 * HEADER_BYTES) * 8
+        noc_pj = self.topology.energy_pj_per_bit[core_unit, serving_clip]
+        energy.noc_nj += float(2.0 * noc_pj[cached].sum()) * msg_bits / 1000.0
+
+        # Inter-stack traffic for the link-bandwidth roofline: every
+        # cross-stack round trip moves a request + response.
+        crosses = cached & (
+            self.topology.inter_hops[core_unit, serving_clip] > 0
+        )
+        self._inter_stack_bytes += int(crosses.sum()) * (msg_bits // 8) * 2
+
+        # --- NDP DRAM: hits and in-DRAM miss probes, row-buffer aware. ---
+        touches = cached & (hit | outcome.miss_probe_dram)
+        dram_ns = np.zeros(n)
+        if touches.any():
+            # Row-buffer state is per unit; build a composite bank id of
+            # (unit, bank-of-row) so one vectorised pass covers all units.
+            rows = outcome.local_row[touches]
+            units = serving[touches]
+            banks = units * self.config.ndp_dram.banks + (
+                rows % self.config.ndp_dram.banks
+            )
+            prev_idx, prev_row = _prev_in_group(banks, rows)
+            row_hit = (prev_idx >= 0) & (prev_row == rows)
+            timing = self.config.ndp_dram
+            dram_ns[touches] = np.where(
+                row_hit, timing.row_hit_ns, timing.row_miss_ns
+            )
+            energy.ndp_dram_nj += self.ndp_dram.energy_nj(row_hit)
+        breakdown.dram_ns += float(dram_ns.sum())
+
+        # --- Misses: CXL + DDR5, plus NoC from home unit to the CXL port. ---
+        miss = cached & ~hit
+        bypass = ~cached
+        goes_ext = miss | bypass
+        ext_ns = np.zeros(n)
+        ext_latency_total = 0.0
+        if goes_ext.any():
+            port = self.options.cxl_port_unit
+            ext_result = self.extended.access(trace.addr[goes_ext])
+            ext_ns[goes_ext] = ext_result.latency_ns
+            ext_latency_total = float(ext_result.latency_ns.sum())
+            # Home unit forwards the miss to the CXL port; the response
+            # returns to the requesting core.  Bypass requests go directly
+            # from the core to the port.
+            origin = np.where(miss, serving_clip, core_unit)[goes_ext]
+            to_port = self.topology.latency_ns[origin, port]
+            from_port = self.topology.latency_ns[port, core_unit[goes_ext]]
+            ext_ns[goes_ext] += to_port + from_port
+            breakdown.inter_noc_ns += float((to_port + from_port).sum())
+            energy.cxl_nj += ext_result.link_energy_nj
+            energy.ext_dram_nj += ext_result.dram_energy_nj
+            self._ext_accesses += int(goes_ext.sum())
+            # Fill energy: the fetched line is written into the home unit.
+            fills = int(miss.sum())
+            energy.ndp_dram_nj += fills * self.config.ndp_dram.access_energy_nj(
+                CACHELINE_BYTES, row_miss=True
+            )
+        breakdown.extended_ns += ext_latency_total
+
+        # Metadata DRAM accesses consume DRAM energy too.
+        energy.ndp_dram_nj += (
+            outcome.metadata_dram_accesses
+            * self.config.ndp_dram.access_energy_nj(8, row_miss=False)
+        )
+
+        stall += noc_ns + dram_ns + ext_ns
+
+        # Prefetch overlap: affine accesses expose memory-level
+        # parallelism, so the core observes only 1/AFFINE_MLP of their
+        # latency; indirect stream accesses overlap by the system's
+        # indirect_mlp (1 on the host, which lacks stream engines).
+        # Bandwidth/queueing effects still see the full demand (they are
+        # computed from access counts, not stall).
+        in_stream = trace.sid >= 0
+        affine = self._sid_affine[np.clip(trace.sid, -1, len(self._sid_affine) - 2)]
+        affine = affine & in_stream
+        stall[affine] /= AFFINE_MLP
+        indirect = in_stream & ~affine
+        stall[indirect] /= self.config.indirect_mlp
+
+        hits.cache_hits_local += int((hit & (serving == core_unit)).sum())
+        hits.cache_hits_remote += int((hit & cached & (serving != core_unit)).sum())
+        hits.cache_misses += int(goes_ext.sum())
+        return stall, goes_ext

@@ -1,0 +1,136 @@
+"""Measurement containers: latency breakdowns, hit statistics, energy.
+
+Fig. 2(a) breaks average access latency into core-side SRAM, metadata,
+DRAM (cache), intra-stack network, inter-stack network, and next-level
+(extended) memory; Fig. 6 breaks energy into static, DRAM, interconnect
+and extended memory.  These accumulators collect exactly those series so
+every experiment can print the paper's rows directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class LatencyBreakdown:
+    """Total nanoseconds spent per component, summed over all requests."""
+
+    sram_ns: float = 0.0
+    metadata_ns: float = 0.0
+    dram_ns: float = 0.0
+    intra_noc_ns: float = 0.0
+    inter_noc_ns: float = 0.0
+    extended_ns: float = 0.0
+
+    def __add__(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def total_ns(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def interconnect_ns(self) -> float:
+        return self.intra_noc_ns + self.inter_noc_ns
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_ns
+        if total == 0:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / total for f in fields(self)}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Nanojoules per component (Fig. 6 categories)."""
+
+    static_nj: float = 0.0
+    sram_nj: float = 0.0
+    ndp_dram_nj: float = 0.0
+    noc_nj: float = 0.0
+    cxl_nj: float = 0.0
+    ext_dram_nj: float = 0.0
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def total_nj(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass
+class HitStats:
+    """Request counts by where they were served."""
+
+    l1_hits: int = 0
+    cache_hits_local: int = 0
+    cache_hits_remote: int = 0
+    cache_misses: int = 0
+
+    def __add__(self, other: "HitStats") -> "HitStats":
+        return HitStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def cache_accesses(self) -> int:
+        return self.cache_hits_local + self.cache_hits_remote + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_accesses
+        return (self.cache_hits_local + self.cache_hits_remote) / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.cache_accesses
+        return self.cache_misses / total if total else 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.l1_hits + self.cache_accesses
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run produces."""
+
+    policy: str
+    workload: str
+    runtime_cycles: float
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    hits: HitStats = field(default_factory=HitStats)
+    reconfig_movements: int = 0
+    reconfig_invalidations: int = 0
+    per_epoch_cycles: list[float] = field(default_factory=list)
+
+    @property
+    def avg_access_latency_ns(self) -> float:
+        n = self.hits.cache_accesses
+        return self.breakdown.total_ns / n if n else 0.0
+
+    @property
+    def avg_interconnect_ns(self) -> float:
+        n = self.hits.cache_accesses
+        return self.breakdown.interconnect_ns / n if n else 0.0
+
+    def speedup_over(self, other: "SimulationReport") -> float:
+        if self.runtime_cycles <= 0:
+            raise ValueError("runtime must be positive to compute speedup")
+        return other.runtime_cycles / self.runtime_cycles

@@ -1,0 +1,99 @@
+"""SRAM cache models: an exact set-associative LRU cache, and the fast
+vectorised L1 filter the engine uses.
+
+The exact model (:class:`SetAssocLRUCache`) is a straightforward reference
+implementation used in unit tests and anywhere trace volume is small.  The
+engine-facing :func:`filter_through_l1` uses the vectorised window-LRU
+primitive so multi-million-access traces stay fast; the window is sized so
+the two agree closely on streaming/reuse mixes (validated in tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.cachesim import recency_hits
+from repro.sim.params import SramCacheParams
+
+
+class SetAssocLRUCache:
+    """Exact set-associative LRU cache over line addresses."""
+
+    def __init__(self, params: SramCacheParams) -> None:
+        if params.lines % params.ways != 0:
+            raise ValueError("line count must be a multiple of associativity")
+        self.params = params
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(params.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access a byte address; returns True on hit.  Fills on miss."""
+        line = addr // self.params.line_bytes
+        set_idx = line % self.params.sets
+        entries = self._sets[set_idx]
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        entries[line] = None
+        if len(entries) > self.params.ways:
+            entries.popitem(last=False)
+        return False
+
+    def run(self, addrs: np.ndarray) -> np.ndarray:
+        """Access a whole trace; returns the per-access hit mask."""
+        return np.fromiter(
+            (self.access(int(a)) for a in addrs), dtype=bool, count=len(addrs)
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class L1FilterResult:
+    """Outcome of filtering one core's trace through its L1."""
+
+    hit_mask: np.ndarray  # per-access, True = served by L1
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# A window-LRU with window = lines * WINDOW_SCALE approximates a true LRU
+# of `lines` entries: the window counts *accesses* while LRU capacity
+# counts *distinct lines*, and memory-intensive traces re-reference each
+# line a few times within its residency.  The scale factor was calibrated
+# against SetAssocLRUCache on mixed streaming/reuse traces (see tests).
+WINDOW_SCALE = 2
+
+
+def filter_through_l1(
+    addrs: np.ndarray, params: SramCacheParams, exact: bool = False
+) -> L1FilterResult:
+    """Filter one core's address trace through its L1 data cache.
+
+    With ``exact=True`` the reference LRU model is used (slow, tests only).
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if exact:
+        cache = SetAssocLRUCache(params)
+        mask = cache.run(addrs)
+    else:
+        lines = addrs // params.line_bytes
+        mask = recency_hits(lines, params.lines * WINDOW_SCALE)
+    hits = int(mask.sum())
+    return L1FilterResult(hit_mask=mask, hits=hits, misses=len(addrs) - hits)

@@ -1,0 +1,46 @@
+"""Workload generators: GAP graph kernels, tensor, and Rodinia traces."""
+
+from repro.workloads.base import (
+    PAPER,
+    SMALL,
+    TINY,
+    StreamHandle,
+    WorkloadBuilder,
+    WorkloadScale,
+    concat_ranges,
+    interleave_pairs,
+    partition_range,
+)
+from repro.workloads.registry import (
+    FACTORIES,
+    REPRESENTATIVE,
+    SUITE,
+    build,
+    build_suite,
+)
+from repro.workloads.rmat import CsrGraph, build_csr, rmat_edges, rmat_graph
+from repro.workloads.trace import Trace, Workload, interleave
+
+__all__ = [
+    "PAPER",
+    "SMALL",
+    "TINY",
+    "StreamHandle",
+    "WorkloadBuilder",
+    "WorkloadScale",
+    "concat_ranges",
+    "interleave_pairs",
+    "partition_range",
+    "FACTORIES",
+    "REPRESENTATIVE",
+    "SUITE",
+    "build",
+    "build_suite",
+    "CsrGraph",
+    "build_csr",
+    "rmat_edges",
+    "rmat_graph",
+    "Trace",
+    "Workload",
+    "interleave",
+]

@@ -1,0 +1,139 @@
+"""Synthetic microbenchmarks: minimal single-pattern workloads.
+
+These isolate one access pattern each, for unit tests, calibration, and
+demos — the cache-behaviour equivalents of lmbench:
+
+* ``sequential`` — one affine scan over a large array (compulsory misses
+  only; exercises block prefetching).
+* ``strided`` — a large-stride affine walk (regular but sparse; defeats
+  block prefetching, stays affine).
+* ``zipf_gather`` — skewed indirect gathers over one table (hot-head
+  caching and replication target).
+* ``uniform_gather`` — uniform indirect gathers (capacity-bound).
+* ``shared_hot`` — every core re-reads the same small read-only block
+  between private scans (the replication showcase).
+* ``ping_pong`` — two cores alternately write one line range (coherence
+  and single-copy behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadBuilder, WorkloadScale, interleave_pairs
+from repro.workloads.tensor import zipf_cdf, zipf_indices
+from repro.workloads.trace import Workload
+
+
+def sequential(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """Pure streaming scan."""
+    builder = WorkloadBuilder("seq", scale)
+    elem = 8
+    n = max(scale.n_cores, scale.footprint_bytes // elem)
+    data = builder.add_stream("data", "affine", n, elem)
+    per_core = n // scale.n_cores
+    for core in range(scale.n_cores):
+        idx = core * per_core + np.arange(per_core, dtype=np.int64)
+        builder.emit(core, data.addr(idx))
+    return builder.build(compute_cycles_per_access=1.0, description="sequential scan")
+
+
+def strided(scale: WorkloadScale = WorkloadScale(), stride_elems: int = 256) -> Workload:
+    """Large-stride affine walk: one cold element per stride, sized so the
+    walk never wraps — every access is a fresh block (prefetch-defeating)."""
+    builder = WorkloadBuilder("stride", scale)
+    elem = 8
+    per_core = scale.accesses_per_core
+    n = per_core * stride_elems * scale.n_cores
+    data = builder.add_stream("data", "affine", n, elem)
+    for core in range(scale.n_cores):
+        start = core * per_core * stride_elems
+        idx = start + np.arange(per_core, dtype=np.int64) * stride_elems
+        builder.emit(core, data.addr(idx))
+    return builder.build(compute_cycles_per_access=1.0, description="strided walk")
+
+
+def zipf_gather(scale: WorkloadScale = WorkloadScale(), skew: float = 1.2) -> Workload:
+    """Skewed gathers: a hot head dominates."""
+    builder = WorkloadBuilder("zipf", scale)
+    elem = 64
+    n = max(1024, scale.footprint_bytes // elem)
+    table = builder.add_stream("table", "indirect", n, elem)
+    rng = np.random.default_rng(scale.seed)
+    cdf = zipf_cdf(n, s=skew)
+    for core in range(scale.n_cores):
+        idx = zipf_indices(rng, cdf, scale.accesses_per_core)
+        builder.emit(core, table.addr(idx))
+    return builder.build(compute_cycles_per_access=2.0, description="zipf gathers")
+
+
+def uniform_gather(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """Uniform gathers: hit rate tracks capacity/footprint directly."""
+    builder = WorkloadBuilder("uniform", scale)
+    elem = 64
+    n = max(1024, scale.footprint_bytes // elem)
+    table = builder.add_stream("table", "indirect", n, elem)
+    rng = np.random.default_rng(scale.seed)
+    for core in range(scale.n_cores):
+        idx = rng.integers(0, n, scale.accesses_per_core)
+        builder.emit(core, table.addr(idx.astype(np.int64)))
+    return builder.build(compute_cycles_per_access=2.0, description="uniform gathers")
+
+
+def shared_hot(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """Every core alternates a private scan with re-reads of one shared,
+    read-only block — the canonical replication win."""
+    builder = WorkloadBuilder("shared", scale)
+    elem = 8
+    hot_elems = 4096  # 32 kB shared block, bigger than any L1
+    hot = builder.add_stream("hot", "indirect", hot_elems, elem)
+    n_private = max(
+        scale.n_cores * 1024, (scale.footprint_bytes - hot_elems * elem) // elem
+    )
+    private = builder.add_stream("private", "affine", n_private, elem)
+    rng = np.random.default_rng(scale.seed)
+    per_core = n_private // scale.n_cores
+    for core in range(scale.n_cores):
+        scan = core * per_core + np.arange(
+            min(per_core, scale.accesses_per_core // 2), dtype=np.int64
+        )
+        gathers = rng.integers(0, hot_elems, len(scan)).astype(np.int64)
+        builder.emit(
+            core, interleave_pairs(private.addr(scan), hot.addr(gathers))
+        )
+    return builder.build(
+        compute_cycles_per_access=1.5, description="shared hot block"
+    )
+
+
+def ping_pong(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """Two cores alternately write a small range: forces single-copy
+    (read-write) treatment and a write exception if mis-declared."""
+    builder = WorkloadBuilder("pingpong", scale)
+    elem = 8
+    shared_elems = 2048
+    shared = builder.add_stream(
+        "shared", "indirect", shared_elems, elem, read_only=True
+    )
+    filler = builder.add_stream(
+        "filler", "affine", max(1024, scale.footprint_bytes // elem), elem
+    )
+    rng = np.random.default_rng(scale.seed)
+    for core in range(min(2, scale.n_cores)):
+        idx = rng.integers(0, shared_elems, scale.accesses_per_core // 2)
+        writes = np.arange(len(idx)) % 2 == core
+        builder.emit(core, shared.addr(idx.astype(np.int64)), write=writes)
+    for core in range(2, scale.n_cores):
+        n = min(scale.accesses_per_core, filler.n_elements)
+        builder.emit(core, filler.addr(np.arange(n, dtype=np.int64)))
+    return builder.build(compute_cycles_per_access=1.0, description="ping-pong writes")
+
+
+MICRO_FACTORIES = {
+    "seq": sequential,
+    "stride": strided,
+    "zipf": zipf_gather,
+    "uniform": uniform_gather,
+    "shared": shared_hot,
+    "pingpong": ping_pong,
+}

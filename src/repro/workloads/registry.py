@@ -1,0 +1,66 @@
+"""Workload registry: the paper's 13-workload suite by name.
+
+``build(name, scale)`` constructs any workload; ``SUITE`` lists the full
+evaluation set of Section VI, and ``REPRESENTATIVE`` is the subset used
+by sweep-heavy experiments to keep bench time sane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads import graph, rodinia, tensor
+from repro.workloads.base import WorkloadScale
+from repro.workloads.trace import Workload, merge_processes
+
+FACTORIES: dict[str, Callable[[WorkloadScale], Workload]] = {
+    # Tensor workloads.
+    "recsys": tensor.recsys,
+    "mv": tensor.matvec,
+    "gnn": tensor.gnn,
+    # Rodinia.
+    "backprop": rodinia.backprop,
+    "hotspot": rodinia.hotspot,
+    "lavaMD": rodinia.lavamd,
+    "lud": rodinia.lud,
+    "pathfinder": rodinia.pathfinder,
+    # GAP graph workloads.
+    "bfs": graph.bfs,
+    "pr": graph.pagerank,
+    "cc": graph.connected_components,
+    "bc": graph.betweenness_centrality,
+    "tc": graph.triangle_counting,
+}
+
+SUITE = tuple(FACTORIES)
+
+# A balanced subset (one per category plus the replication-heavy ones)
+# for parameter sweeps.
+REPRESENTATIVE = ("recsys", "mv", "hotspot", "pathfinder", "pr", "bfs")
+
+
+def build(name: str, scale: WorkloadScale | None = None) -> Workload:
+    """Construct a workload by suite name.
+
+    When ``scale.processes > 1``, independent instances are generated
+    (distinct seeds, disjoint address spaces, separate core subsets) and
+    merged — the paper's multi-process execution model.
+    """
+    if name not in FACTORIES:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(FACTORIES)}"
+        )
+    scale = scale or WorkloadScale()
+    factory = FACTORIES[name]
+    if scale.processes <= 1:
+        return factory(scale)
+    instances = [
+        factory(scale.per_process(p)) for p in range(scale.processes)
+    ]
+    return merge_processes(instances, name=name)
+
+
+def build_suite(
+    scale: WorkloadScale | None = None, names: tuple[str, ...] = SUITE
+) -> dict[str, Workload]:
+    return {name: build(name, scale) for name in names}

@@ -1,0 +1,153 @@
+"""Tensor workloads: recsys (DLRM-style), mv, gnn (Section VI).
+
+* ``recsys`` — DLRM-style recommendation inference: per sample, several
+  embedding tables are gathered at Zipf-distributed indices (hot rows are
+  shared across all cores — the replication opportunity behind the
+  paper's 2.43x best case), followed by small dense MLP layers whose
+  read-only weights every core re-reads.
+* ``mv`` — matrix-vector product: the matrix is a huge streaming affine
+  scan with no reuse; the vector is re-read for every row by every core
+  (read-only, hot — the paper reports up to 33% of cache spent on its
+  replicas).
+* ``gnn`` — graph convolution as SpMM over an R-MAT graph: edge list is
+  affine, gathered feature rows are a wide-element indirect stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import (
+    WorkloadBuilder,
+    WorkloadScale,
+    concat_ranges,
+    interleave_pairs,
+    partition_range,
+)
+from repro.workloads.graph import graph_for_scale
+from repro.workloads.trace import Workload
+
+
+def zipf_cdf(n: int, s: float = 1.1) -> np.ndarray:
+    """Cumulative Zipf(s) distribution over n ranks (hot-head skew)."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    cdf = np.cumsum(ranks ** (-s))
+    return cdf / cdf[-1]
+
+
+def zipf_indices(
+    rng: np.random.Generator, cdf: np.ndarray, size: int
+) -> np.ndarray:
+    """Zipf-distributed indices drawn against a precomputed CDF."""
+    return np.searchsorted(cdf, rng.random(size)).astype(np.int64)
+
+
+def recsys(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """DLRM-style inference: embedding gathers + MLP."""
+    builder = WorkloadBuilder("recsys", scale)
+    rng = np.random.default_rng(scale.seed + 101)
+    n_tables = 8
+    lookups_per_table = 4
+    row_bytes = 64
+    rows_per_table = max(
+        1024, scale.footprint_bytes // (n_tables * row_bytes)
+    )
+    tables = [
+        builder.add_stream(f"emb{t}", "indirect", rows_per_table, row_bytes)
+        for t in range(n_tables)
+    ]
+    # Two dense layers; weights are small, read-only, and re-read by every
+    # core for every sample — prime replication targets.
+    mlp_elems = 4096
+    mlp1 = builder.add_stream("mlp_w1", "affine", mlp_elems, 64)
+    mlp2 = builder.add_stream("mlp_w2", "affine", mlp_elems // 4, 64)
+
+    mlp_accesses = 16 + 8
+    accesses_per_sample = n_tables * lookups_per_table + mlp_accesses
+    samples = max(1, int(scale.accesses_per_core // accesses_per_sample) + 1)
+    cdf = zipf_cdf(rows_per_table)
+    w1 = np.arange(0, mlp_elems, mlp_elems // 16, dtype=np.int64)
+    w2 = np.arange(0, mlp_elems // 4, mlp_elems // 32, dtype=np.int64)
+    for core in range(scale.n_cores):
+        # Draw all of this core's gathers at once, then lay them out
+        # sample-major: per sample, each table's lookups then the MLP.
+        per_sample = []
+        for table in tables:
+            idx = zipf_indices(rng, cdf, samples * lookups_per_table)
+            per_sample.append(table.addr(idx).reshape(samples, lookups_per_table))
+        per_sample.append(np.broadcast_to(mlp1.addr(w1), (samples, len(w1))))
+        per_sample.append(np.broadcast_to(mlp2.addr(w2), (samples, len(w2))))
+        builder.emit(core, np.concatenate(per_sample, axis=1).ravel())
+    return builder.build(
+        compute_cycles_per_access=3.0, description="DLRM-style recommendation"
+    )
+
+
+def matvec(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """y = A @ x, rows partitioned across cores; x is re-read per row."""
+    builder = WorkloadBuilder("mv", scale)
+    elem = 4
+    # A wide vector: x must exceed the L1 so its reuse reaches the DRAM
+    # cache, where every core re-reads it — the replication target the
+    # paper reports spending up to 33% of the cache on.
+    cols = 4096
+    rows = max(scale.n_cores, scale.footprint_bytes // (cols * elem))
+    matrix = builder.add_stream("A", "affine", rows * cols, elem, dims=(cols, rows))
+    x = builder.add_stream("x", "affine", cols, elem)
+    y = builder.add_stream("y", "affine", rows, elem)
+
+    # Every 8th element of the row/vector issues a memory access (SIMD).
+    step = 8
+    for core in range(scale.n_cores):
+        lo, hi = partition_range(rows, scale.n_cores, core)
+        for r in range(lo, hi):
+            if builder.full():
+                break
+            row_elems = np.arange(r * cols, (r + 1) * cols, step, dtype=np.int64)
+            x_elems = np.arange(0, cols, step, dtype=np.int64)
+            builder.emit(
+                core, interleave_pairs(matrix.addr(row_elems), x.addr(x_elems))
+            )
+            builder.emit(core, y.addr(np.array([r])), write=True)
+    return builder.build(
+        compute_cycles_per_access=1.0, description="Matrix-vector multiply"
+    )
+
+
+def gnn(scale: WorkloadScale = WorkloadScale()) -> Workload:
+    """Graph convolution (SpMM): gather neighbour feature rows, reduce."""
+    graph = graph_for_scale(scale.scaled(footprint_bytes=scale.footprint_bytes // 4))
+    builder = WorkloadBuilder("gnn", scale)
+    feat_bytes = 256  # one feature row per vertex
+    indptr = builder.add_stream("indptr", "affine", graph.n_vertices + 1, 8)
+    edges = builder.add_stream("edges", "affine", max(1, graph.n_edges), 4)
+    features = builder.add_stream(
+        "features", "indirect", graph.n_vertices, feat_bytes
+    )
+    out = builder.add_stream("out", "affine", graph.n_vertices, feat_bytes)
+    weights = builder.add_stream("gc_weights", "affine", 2048, 64)
+
+    block = 64
+    w = np.arange(0, 2048, 64, dtype=np.int64)
+    for core in range(scale.n_cores):
+        start, stop = partition_range(graph.n_vertices, scale.n_cores, core)
+        for b_lo in range(start, stop, block):
+            if builder.full():
+                break
+            b_hi = min(b_lo + block, stop)
+            verts = np.arange(b_lo, b_hi, dtype=np.int64)
+            builder.emit(core, indptr.addr(verts))
+            starts = graph.indptr[b_lo:b_hi]
+            degs = graph.indptr[b_lo + 1 : b_hi + 1] - starts
+            edge_ids = concat_ranges(starts, degs)
+            if len(edge_ids):
+                neigh = graph.indices[edge_ids].astype(np.int64)
+                builder.emit(
+                    core, interleave_pairs(edges.addr(edge_ids), features.addr(neigh))
+                )
+            # Dense update: weights re-read per vertex block, output written.
+            builder.emit(core, weights.addr(w))
+            builder.emit(core, out.addr(verts), write=True)
+    return builder.build(
+        compute_cycles_per_access=4.0, description="GNN (SpMM over R-MAT)"
+    )

@@ -1,0 +1,225 @@
+"""Trace containers: the interface between workloads and the engine.
+
+A :class:`Trace` is a flat, globally ordered sequence of memory requests
+(core, byte address, read/write) with the owning stream id pre-resolved.
+Workload generators build per-core access sequences and interleave them
+into one global order; the engine later splits the trace into epochs and
+per-core views.
+
+A :class:`Workload` bundles the trace with its stream table and the
+per-access compute cost of the kernel (used to convert memory stall time
+into end-to-end runtime for an in-order core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stream import StreamConfig, StreamTable
+
+
+@dataclass
+class Trace:
+    """A globally ordered memory-request trace."""
+
+    core: np.ndarray  # int32, issuing core id
+    addr: np.ndarray  # int64, byte address
+    write: np.ndarray  # bool
+    sid: np.ndarray  # int32, stream id or -1
+
+    def __post_init__(self) -> None:
+        self.core = np.asarray(self.core, dtype=np.int32)
+        self.addr = np.asarray(self.addr, dtype=np.int64)
+        self.write = np.asarray(self.write, dtype=bool)
+        self.sid = np.asarray(self.sid, dtype=np.int32)
+        n = len(self.core)
+        for name in ("addr", "write", "sid"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"trace field {name} length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.core)
+
+    @property
+    def n_cores(self) -> int:
+        return int(self.core.max()) + 1 if len(self) else 0
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        return Trace(
+            core=self.core[start:stop],
+            addr=self.addr[start:stop],
+            write=self.write[start:stop],
+            sid=self.sid[start:stop],
+        )
+
+    def select(self, mask: np.ndarray) -> "Trace":
+        return Trace(
+            core=self.core[mask],
+            addr=self.addr[mask],
+            write=self.write[mask],
+            sid=self.sid[mask],
+        )
+
+    def epochs(self, accesses_per_epoch: int) -> list["Trace"]:
+        """Split into fixed-size epochs (the paper's reconfiguration unit)."""
+        if accesses_per_epoch <= 0:
+            raise ValueError("accesses_per_epoch must be positive")
+        return [
+            self.slice(start, min(start + accesses_per_epoch, len(self)))
+            for start in range(0, len(self), accesses_per_epoch)
+        ]
+
+
+def interleave(per_core: list[tuple[np.ndarray, np.ndarray]], seed: int = 0) -> Trace:
+    """Merge per-core (addr, write) sequences into one global order.
+
+    Cores issue at roughly equal rates, so the merge proportionally
+    round-robins through the cores: positions are assigned by each
+    access's fractional progress through its core's sequence, with a
+    deterministic jitter so ties don't always favour low core ids.
+    """
+    parts = []
+    rng = np.random.default_rng(seed)
+    for core_id, (addrs, writes) in enumerate(per_core):
+        addrs = np.asarray(addrs, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        if len(addrs) != len(writes):
+            raise ValueError(f"core {core_id}: addr/write length mismatch")
+        n = len(addrs)
+        if n == 0:
+            continue
+        progress = (np.arange(n) + rng.random(n) * 0.5) / n
+        parts.append((progress, np.full(n, core_id, np.int32), addrs, writes))
+    if not parts:
+        return Trace(
+            core=np.empty(0, np.int32),
+            addr=np.empty(0, np.int64),
+            write=np.empty(0, bool),
+            sid=np.empty(0, np.int32),
+        )
+    progress = np.concatenate([p[0] for p in parts])
+    cores = np.concatenate([p[1] for p in parts])
+    addrs = np.concatenate([p[2] for p in parts])
+    writes = np.concatenate([p[3] for p in parts])
+    order = np.argsort(progress, kind="stable")
+    return Trace(
+        core=cores[order],
+        addr=addrs[order],
+        write=writes[order],
+        sid=np.full(len(order), -1, np.int32),
+    )
+
+
+@dataclass
+class Workload:
+    """A named workload: streams + trace + compute cost."""
+
+    name: str
+    streams: StreamTable
+    trace: Trace
+    compute_cycles_per_access: float = 2.0
+    description: str = ""
+    phases: list[tuple[int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.trace) and np.all(self.trace.sid == -1):
+            self.trace.sid = self.streams.resolve(self.trace.addr).astype(np.int32)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(s.size for s in self.streams)
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.streams)
+
+    def stream_by_name(self, name: str) -> StreamConfig:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise KeyError(f"no stream named {name!r} in workload {self.name}")
+
+    def summary(self) -> str:
+        mb = self.footprint_bytes / (1024 * 1024)
+        return (
+            f"{self.name}: {len(self.trace)} accesses, {self.n_streams} streams, "
+            f"{mb:.1f} MB footprint, {self.trace.n_cores} cores"
+        )
+
+
+def merge_processes(instances: list[Workload], name: str | None = None) -> Workload:
+    """Combine independent process instances into one workload.
+
+    The paper executes "multiple processes of the workload ... until the
+    total footprint exceeds the NDP memory": each process has its own
+    address space, streams, and core subset.  We relocate each instance
+    to a disjoint address region, renumber stream ids and cores, and
+    interleave the traces in global order.
+    """
+    if not instances:
+        raise ValueError("need at least one process instance")
+    if len(instances) == 1:
+        return instances[0]
+    from repro.core.stream import StreamConfig, StreamTable
+
+    page = 4096
+    merged_streams = StreamTable()
+    parts: list[Trace] = []
+    addr_offset = page
+    core_offset = 0
+    sid_offset = 0
+    for inst in instances:
+        span = max(
+            (s.end for s in inst.streams), default=0
+        )  # instance's address-space extent
+        for stream in inst.streams:
+            merged_streams.configure(
+                StreamConfig(
+                    sid=stream.sid + sid_offset,
+                    kind=stream.kind,
+                    base=stream.base + addr_offset,
+                    size=stream.size,
+                    elem_size=stream.elem_size,
+                    read_only=stream.read_only,
+                    dims=stream.dims,
+                    order=stream.order,
+                    name=f"p{core_offset}:{stream.name}",
+                )
+            )
+        trace = inst.trace
+        parts.append(
+            Trace(
+                core=trace.core + core_offset,
+                addr=trace.addr + addr_offset,
+                write=trace.write,
+                sid=np.where(trace.sid >= 0, trace.sid + sid_offset, -1).astype(
+                    np.int32
+                ),
+            )
+        )
+        addr_offset += (span + page - 1) // page * page + page
+        core_offset += trace.n_cores
+        sid_offset += max((s.sid for s in inst.streams), default=-1) + 1
+
+    # Interleave by fractional progress so processes advance together.
+    progress = np.concatenate(
+        [np.arange(len(t)) / max(1, len(t)) for t in parts]
+    )
+    order = np.argsort(progress, kind="stable")
+    merged = Trace(
+        core=np.concatenate([t.core for t in parts])[order],
+        addr=np.concatenate([t.addr for t in parts])[order],
+        write=np.concatenate([t.write for t in parts])[order],
+        sid=np.concatenate([t.sid for t in parts])[order],
+    )
+    first = instances[0]
+    return Workload(
+        name=name or first.name,
+        streams=merged_streams,
+        trace=merged,
+        compute_cycles_per_access=first.compute_cycles_per_access,
+        description=f"{first.description} x{len(instances)} processes",
+        phases=first.phases,
+    )

@@ -1,0 +1,104 @@
+"""Tests for automatic stream annotation."""
+
+import numpy as np
+import pytest
+
+from repro.core.annotate import (
+    AnnotatorParams,
+    annotate_workload,
+    annotation_report,
+    detect_streams,
+)
+from repro.core.stream import StreamKind
+from repro.workloads import TINY, build
+from repro.workloads.trace import Trace
+
+
+def raw_trace(addrs, writes=None):
+    n = len(addrs)
+    return Trace(
+        core=np.zeros(n, np.int32),
+        addr=np.asarray(addrs, np.int64),
+        write=np.zeros(n, bool) if writes is None else np.asarray(writes, bool),
+        sid=np.full(n, -1, np.int32),
+    )
+
+
+class TestDetection:
+    def test_sequential_scan_is_affine(self):
+        addrs = 1 << 20 | np.arange(0, 64 * 1024, 8)
+        table, regions = detect_streams(raw_trace(addrs))
+        assert len(regions) == 1
+        assert regions[0].kind is StreamKind.AFFINE
+        assert regions[0].elem_size == 8
+
+    def test_random_gathers_are_indirect(self):
+        rng = np.random.default_rng(1)
+        addrs = (1 << 20) + rng.integers(0, 8192, 2000) * 64
+        table, regions = detect_streams(raw_trace(addrs))
+        assert len(regions) == 1
+        assert regions[0].kind is StreamKind.INDIRECT
+
+    def test_two_regions_split_at_gap(self):
+        a = (1 << 20) + np.arange(0, 4096, 4)
+        b = (1 << 24) + np.arange(0, 4096, 4)
+        mixed = np.empty(2 * len(a), dtype=np.int64)
+        mixed[0::2], mixed[1::2] = a, b
+        table, regions = detect_streams(raw_trace(mixed))
+        assert len(regions) == 2
+
+    def test_small_regions_ignored(self):
+        addrs = (1 << 20) + np.arange(0, 64, 4)  # only 16 accesses
+        _, regions = detect_streams(raw_trace(addrs))
+        assert regions == []
+
+    def test_read_only_inference(self):
+        addrs = (1 << 20) + np.tile(np.arange(0, 8192, 8), 2)
+        writes = np.zeros(len(addrs), bool)
+        _, regions = detect_streams(raw_trace(addrs, writes))
+        assert regions[0].read_only
+        writes[5] = True
+        _, regions = detect_streams(raw_trace(addrs, writes))
+        assert not regions[0].read_only
+
+    def test_elem_size_power_of_two(self):
+        addrs = (1 << 20) + np.arange(0, 32 * 1024, 48)  # odd stride 48
+        _, regions = detect_streams(raw_trace(addrs))
+        elem = regions[0].elem_size
+        assert elem & (elem - 1) == 0
+
+    def test_coverage_resolves(self):
+        addrs = (1 << 20) + np.arange(0, 64 * 1024, 8)
+        table, _ = detect_streams(raw_trace(addrs))
+        resolved = table.resolve(addrs)
+        assert (resolved >= 0).all()
+
+    def test_empty_trace(self):
+        table, regions = detect_streams(raw_trace(np.array([], dtype=np.int64)))
+        assert regions == []
+        assert len(table) == 0
+
+
+class TestOnGeneratedWorkloads:
+    @pytest.mark.parametrize("name", ["pr", "hotspot", "recsys"])
+    def test_recovers_manual_annotations(self, name):
+        workload = build(name, TINY)
+        table, _ = detect_streams(workload.trace)
+        report = annotation_report(workload, table)
+        assert report["coverage"] > 0.9
+        assert report["agreement"] > 0.9
+        assert report["kind_accuracy"] >= 0.5
+
+    def test_annotated_workload_runs_end_to_end(self):
+        from repro.core import NdpExtPolicy
+        from repro.sim import SimulationEngine, tiny
+
+        manual = build("pr", TINY)
+        auto = annotate_workload(manual)
+        assert auto.n_streams >= 1
+        engine = SimulationEngine(tiny())
+        manual_report = engine.run(manual, NdpExtPolicy())
+        auto_report = engine.run(auto, NdpExtPolicy())
+        # Auto-annotation should land in the same performance ballpark.
+        ratio = auto_report.runtime_cycles / manual_report.runtime_cycles
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,77 @@
+"""Tests for sampler-to-stream assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import SamplerAssigner
+
+
+def bitvec(n_units, n_streams, pairs):
+    vec = np.zeros((n_units, n_streams), dtype=bool)
+    for unit, stream in pairs:
+        vec[unit, stream] = True
+    return vec
+
+
+class TestAssignment:
+    def test_full_coverage_when_capacity_allows(self):
+        assigner = SamplerAssigner(samplers_per_unit=4)
+        vec = bitvec(3, 4, [(0, 0), (1, 0), (1, 1), (1, 2), (2, 2), (2, 3)])
+        result = assigner.assign(vec)
+        assert result.covered == [0, 1, 2, 3]
+        assert result.uncovered == []
+
+    def test_assignment_uses_accessing_units_only(self):
+        assigner = SamplerAssigner(samplers_per_unit=4)
+        vec = bitvec(2, 2, [(0, 0), (1, 1)])
+        result = assigner.assign(vec)
+        assert result.assignment[0] == 0
+        assert result.assignment[1] == 1
+
+    def test_capacity_limits(self):
+        assigner = SamplerAssigner(samplers_per_unit=1)
+        vec = bitvec(1, 3, [(0, 0), (0, 1), (0, 2)])
+        result = assigner.assign(vec)
+        assert len(result.covered) == 1
+        assert len(result.uncovered) == 2
+
+    def test_rotation_covers_all_streams_over_epochs(self):
+        """Streams missed in one epoch get priority until all covered."""
+        assigner = SamplerAssigner(samplers_per_unit=1)
+        vec = bitvec(1, 3, [(0, 0), (0, 1), (0, 2)])
+        seen = set()
+        for _ in range(3):
+            result = assigner.assign(vec)
+            seen.update(result.covered)
+        assert seen == {0, 1, 2}
+
+    def test_rotation_restarts_after_full_coverage(self):
+        assigner = SamplerAssigner(samplers_per_unit=2)
+        vec = bitvec(1, 2, [(0, 0), (0, 1)])
+        first = assigner.assign(vec)
+        second = assigner.assign(vec)
+        assert first.covered == second.covered == [0, 1]
+
+    def test_inactive_streams_ignored(self):
+        assigner = SamplerAssigner()
+        vec = bitvec(2, 4, [(0, 1)])
+        result = assigner.assign(vec)
+        assert result.covered == [1]
+        assert result.uncovered == []
+
+    def test_empty_bitvector(self):
+        assigner = SamplerAssigner()
+        result = assigner.assign(np.zeros((2, 4), dtype=bool))
+        assert result.assignment == {}
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SamplerAssigner().assign(np.zeros(4, dtype=bool))
+
+    def test_reset(self):
+        assigner = SamplerAssigner(samplers_per_unit=1)
+        vec = bitvec(1, 2, [(0, 0), (0, 1)])
+        first = assigner.assign(vec)
+        assigner.reset()
+        second = assigner.assign(vec)
+        assert first.covered == second.covered

@@ -1,0 +1,101 @@
+"""Tests for the consistent-hashing ring (Section V-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistent import ConsistentRing, preserved_mask, spots_of_group
+
+
+def spots(n_units=4, rows=8):
+    return [(u, r) for u in range(n_units) for r in range(rows)]
+
+
+class TestRing:
+    def test_deterministic(self):
+        tags = np.arange(100)
+        a = ConsistentRing(spots(), salt=1).lookup(tags)
+        b = ConsistentRing(spots(), salt=1).lookup(tags)
+        assert np.array_equal(a, b)
+
+    def test_salt_decorrelates(self):
+        tags = np.arange(100)
+        a = ConsistentRing(spots(), salt=1).lookup(tags)
+        b = ConsistentRing(spots(), salt=2).lookup(tags)
+        assert not np.array_equal(a, b)
+
+    def test_load_roughly_balanced(self):
+        ring = ConsistentRing(spots(4, 8), salt=0)
+        owners = ring.lookup(np.arange(32_000))
+        counts = np.bincount(owners, minlength=32)
+        assert counts.min() > 0
+        assert counts.max() < 5 * counts.mean()
+
+    def test_units_and_rows_of(self):
+        ring = ConsistentRing([(3, 7), (5, 1)], salt=0)
+        idx = ring.lookup(np.arange(10))
+        units = ring.units_of(idx)
+        rows = ring.rows_of(idx)
+        assert set(units) <= {3, 5}
+        assert set(rows) <= {7, 1}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ConsistentRing([])
+
+
+class TestConsistency:
+    def test_growing_preserves_most(self):
+        """The defining property: adding spots only moves the tags owned
+        by the new spots."""
+        tags = np.arange(20_000)
+        old_ring = ConsistentRing(spots(4, 8), salt=3)
+        new_ring = ConsistentRing(spots(4, 8) + [(4, r) for r in range(8)], salt=3)
+        preserved = preserved_mask(old_ring, new_ring, tags)
+        # Going from 32 to 40 spots should move ~ 8/40 of tags.
+        assert preserved.mean() > 0.7
+
+    def test_rehash_comparison(self):
+        """Plain mod-rehashing (simulated by a different salt) moves almost
+        everything, unlike consistent growth."""
+        tags = np.arange(20_000)
+        old_ring = ConsistentRing(spots(4, 8), salt=3)
+        grown = ConsistentRing(spots(4, 8) + [(4, 0)], salt=3)
+        rehashed = ConsistentRing(spots(4, 8), salt=99)
+        assert (
+            preserved_mask(old_ring, grown, tags).mean()
+            > preserved_mask(old_ring, rehashed, tags).mean()
+        )
+
+    def test_identical_rings_preserve_all(self):
+        tags = np.arange(1000)
+        a = ConsistentRing(spots(), salt=5)
+        b = ConsistentRing(spots(), salt=5)
+        assert preserved_mask(a, b, tags).all()
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_shrink_only_moves_removed_spots(self, keep_units, rows):
+        all_spots = spots(keep_units + 1, rows)
+        kept = spots(keep_units, rows)
+        tags = np.arange(5000)
+        big = ConsistentRing(all_spots, salt=1)
+        small_ring = ConsistentRing(kept, salt=1)
+        owners_big = big.lookup(tags)
+        on_kept = np.array(
+            [all_spots[i] in set(kept) for i in owners_big]
+        )
+        preserved = preserved_mask(big, small_ring, tags)
+        # Tags on removed spots must move; tags on kept spots must stay.
+        assert not preserved[~on_kept].any()
+        assert preserved[on_kept].all()
+
+
+class TestSpotsOfGroup:
+    def test_enumeration(self):
+        result = spots_of_group(np.array([2, 5]), np.array([2, 1]))
+        assert result == [(2, 0), (2, 1), (5, 0)]
+
+    def test_empty_shares(self):
+        assert spots_of_group(np.array([1]), np.array([0])) == []

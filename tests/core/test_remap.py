@@ -1,0 +1,136 @@
+"""Tests for the stream remap table (RShares/RRowBase/RGroups)."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import NO_GROUP, RemapTable, StreamAllocation
+
+
+def alloc(sid=0, shares=(8, 6, 4, 2), groups=(0, 0, 1, 1)):
+    n = len(shares)
+    return StreamAllocation(
+        sid=sid,
+        shares=np.array(shares),
+        groups=np.array(groups),
+        row_base=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestStreamAllocation:
+    def test_paper_example(self):
+        """RShares=(8,6,4,2), RGroups=(0,0,1,1): two copies of 14 and 6 rows."""
+        a = alloc()
+        assert a.group_ids == [0, 1]
+        assert a.group_rows(0) == 14
+        assert a.group_rows(1) == 6
+        assert a.total_rows == 20
+        assert a.replication_degree() == 2
+
+    def test_units_of_group(self):
+        a = alloc()
+        assert list(a.units_of_group(0)) == [0, 1]
+        assert list(a.units_of_group(1)) == [2, 3]
+
+    def test_rows_without_group_rejected(self):
+        with pytest.raises(ValueError):
+            alloc(groups=(0, 0, 1, NO_GROUP))
+
+    def test_group_without_rows_rejected(self):
+        with pytest.raises(ValueError):
+            alloc(shares=(8, 6, 4, 0))
+
+    def test_negative_shares_rejected(self):
+        with pytest.raises(ValueError):
+            alloc(shares=(8, -1, 4, 2))
+
+    def test_share_width_16_bits(self):
+        with pytest.raises(ValueError):
+            alloc(shares=(1 << 16, 6, 4, 2))
+
+    def test_empty(self):
+        a = StreamAllocation.empty(5, 4)
+        assert not a.is_allocated()
+        assert a.n_groups == 0
+        assert a.replication_degree() == 1
+
+    def test_single_group(self):
+        a = StreamAllocation.single_group(1, np.array([4, 0, 4, 0]))
+        assert a.group_ids == [0]
+        assert a.group_of_unit(0) == 0
+        assert a.group_of_unit(1) == NO_GROUP
+
+
+class TestRemapTable:
+    def test_capacity_enforced_with_rollback(self):
+        table = RemapTable(n_units=4, rows_per_unit=10)
+        table.set(alloc(sid=0))
+        before = table.get(0)
+        with pytest.raises(ValueError):
+            table.set(alloc(sid=1, shares=(8, 8, 8, 8), groups=(0, 0, 0, 0)))
+        assert 1 not in table
+        assert table.get(0) is before
+
+    def test_replace_same_sid(self):
+        table = RemapTable(n_units=4, rows_per_unit=10)
+        table.set(alloc(sid=0))
+        table.set(alloc(sid=0, shares=(1, 1, 1, 1), groups=(0, 0, 0, 0)))
+        assert table.get(0).total_rows == 4
+
+    def test_row_bases_pack_contiguously(self):
+        table = RemapTable(n_units=2, rows_per_unit=20)
+        table.set_all(
+            [
+                StreamAllocation.single_group(0, np.array([5, 3])),
+                StreamAllocation.single_group(1, np.array([2, 4])),
+            ]
+        )
+        assert list(table.get(0).row_base) == [0, 0]
+        assert list(table.get(1).row_base) == [5, 3]
+
+    def test_set_all_atomic(self):
+        table = RemapTable(n_units=2, rows_per_unit=4)
+        with pytest.raises(ValueError):
+            table.set_all(
+                [
+                    StreamAllocation.single_group(0, np.array([3, 3])),
+                    StreamAllocation.single_group(1, np.array([3, 3])),
+                ]
+            )
+        assert len(table) == 0
+
+    def test_set_all_rejects_duplicates(self):
+        table = RemapTable(n_units=2, rows_per_unit=10)
+        with pytest.raises(ValueError):
+            table.set_all(
+                [
+                    StreamAllocation.single_group(0, np.array([1, 1])),
+                    StreamAllocation.single_group(0, np.array([1, 1])),
+                ]
+            )
+
+    def test_rows_free(self):
+        table = RemapTable(n_units=4, rows_per_unit=10)
+        table.set(alloc())
+        assert list(table.rows_free_per_unit()) == [2, 4, 6, 8]
+
+    def test_unit_count_must_match(self):
+        table = RemapTable(n_units=8, rows_per_unit=10)
+        with pytest.raises(ValueError):
+            table.set(alloc())  # 4-unit allocation
+
+    def test_paper_metadata_size(self):
+        """512 streams x 64 units x 40 bits = 160 kB."""
+        table = RemapTable(n_units=64, rows_per_unit=1024)
+        assert table.metadata_bits() == 512 * 64 * 40
+        assert table.metadata_bits() / 8 / 1024 == pytest.approx(160.0)
+
+    def test_get_or_empty(self):
+        table = RemapTable(n_units=4, rows_per_unit=10)
+        empty = table.get_or_empty(9)
+        assert empty.total_rows == 0
+
+    def test_clear(self):
+        table = RemapTable(n_units=4, rows_per_unit=10)
+        table.set(alloc())
+        table.clear()
+        assert len(table) == 0

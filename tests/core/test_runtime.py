@@ -1,0 +1,95 @@
+"""End-to-end tests for the NDPExt runtime policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import NdpExtPolicy
+from repro.sim import SimulationEngine
+from repro.sim.params import tiny
+from repro.workloads import TINY, build
+
+
+@pytest.fixture(scope="module")
+def config():
+    return tiny()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build("pr", TINY)
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NdpExtPolicy(mode="sometimes")
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            NdpExtPolicy(reconfig_interval=0)
+
+    def test_names(self):
+        assert NdpExtPolicy().name == "ndpext"
+        assert NdpExtPolicy(mode="static").name == "ndpext-static"
+        assert NdpExtPolicy(mode="partial").name == "ndpext-partial"
+
+    def test_static_never_reconfigures(self, config, workload):
+        report = SimulationEngine(config).run(workload, NdpExtPolicy(mode="static"))
+        assert report.reconfig_invalidations == 0
+        assert report.reconfig_movements == 0
+
+    def test_runs_all_modes(self, config, workload):
+        for mode in ("static", "partial", "full"):
+            report = SimulationEngine(config).run(workload, NdpExtPolicy(mode=mode))
+            assert report.runtime_cycles > 0
+            assert report.hits.cache_hit_rate > 0
+
+
+class TestDynamicBehavior:
+    def test_profile_builds_curves(self, config, workload):
+        from repro.sim.topology import Topology
+
+        policy = NdpExtPolicy()
+        policy.setup(config, Topology(config), workload)
+        epoch = workload.trace.epochs(config.epoch_accesses)[0]
+        policy.end_epoch(0, epoch, None)
+        assert policy._curves
+        assert policy._acc_units
+
+    def test_reconfiguration_changes_allocation_under_skew(self, config):
+        """recsys's skewed gathers should pull space toward hot streams."""
+        workload = build("recsys", TINY)
+        policy = NdpExtPolicy()
+        report = SimulationEngine(config).run(workload, policy)
+        rows = {
+            s.name: policy.mapper.table.get_or_empty(s.sid).total_rows
+            for s in workload.streams
+        }
+        assert report.runtime_cycles > 0
+        assert any(r > 0 for r in rows.values())
+
+    def test_fallback_curve_shape(self, config, workload):
+        from repro.sim.topology import Topology
+
+        policy = NdpExtPolicy()
+        policy.setup(config, Topology(config), workload)
+        sid = next(iter(policy._streams))
+        curve = policy._fallback_curve(sid, accesses=1000)
+        assert curve.misses[0] >= curve.misses[-1]
+        assert curve.misses.max() <= 1000
+
+    def test_hysteresis_blocks_noise_reconfigs(self, config, workload):
+        """With an enormous gain threshold nothing ever reconfigures."""
+        policy = NdpExtPolicy()
+        policy.RECONFIG_GAIN_THRESHOLD = 1.0
+        report = SimulationEngine(config).run(workload, policy)
+        assert report.reconfig_invalidations == 0
+
+    def test_full_not_slower_than_static_on_dynamic_workload(self, config):
+        """The headline fig9(e) shape at tiny scale: full reconfiguration
+        should never badly lose to static."""
+        workload = build("recsys", TINY)
+        engine = SimulationEngine(config)
+        static = engine.run(workload, NdpExtPolicy(mode="static"))
+        full = engine.run(workload, NdpExtPolicy(mode="full"))
+        assert full.runtime_cycles <= static.runtime_cycles * 1.1

@@ -1,0 +1,129 @@
+"""Unit tests for the runtime's internal cost model and scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import StreamAllocation
+from repro.core.runtime import NdpExtPolicy
+from repro.sim.params import tiny
+from repro.sim.topology import Topology
+from repro.util.curves import MissCurve
+from repro.workloads import TINY, build
+
+
+@pytest.fixture()
+def policy():
+    config = tiny()
+    policy = NdpExtPolicy()
+    policy.setup(config, Topology(config), build("pr", TINY))
+    return policy
+
+
+def flat_curve(misses, caps=(1024, 4096, 16384)):
+    return MissCurve(np.array(caps), np.array(misses, dtype=float))
+
+
+class TestShouldReconfigure:
+    def test_never_at_epoch_zero(self, policy):
+        policy._curves = {0: flat_curve([10, 5, 1])}
+        assert not policy._should_reconfigure(0)
+
+    def test_never_without_curves(self, policy):
+        assert not policy._should_reconfigure(3)
+
+    def test_interval_gates(self):
+        config = tiny()
+        policy = NdpExtPolicy(reconfig_interval=2)
+        policy.setup(config, Topology(config), build("pr", TINY))
+        policy._curves = {0: flat_curve([10, 5, 1])}
+        assert policy._should_reconfigure(2)
+        assert not policy._should_reconfigure(3)
+
+    def test_partial_stops_after_window(self):
+        config = tiny()
+        policy = NdpExtPolicy(mode="partial", partial_epochs=2)
+        policy.setup(config, Topology(config), build("pr", TINY))
+        policy._curves = {0: flat_curve([10, 5, 1])}
+        assert policy._should_reconfigure(2)
+        assert not policy._should_reconfigure(3)
+
+
+class TestPredictedCost:
+    def test_more_capacity_cheaper(self, policy):
+        config = policy.config
+        sid = next(iter(policy._streams))
+        curve = flat_curve([1000, 100, 0])
+        policy._epoch_access_totals = {sid: 1000}
+        policy._acc_counts = {sid: {0: 1000}}
+        policy._acc_units = {sid: [0]}
+        small_alloc = StreamAllocation.single_group(
+            sid, np.array([1, 0, 0, 0], dtype=np.int64)
+        )
+        big_alloc = StreamAllocation.single_group(
+            sid, np.array([8, 0, 0, 0], dtype=np.int64)
+        )
+        curves = {sid: curve}
+        assert policy._predicted_cost(curves, [big_alloc]) < policy._predicted_cost(
+            curves, [small_alloc]
+        )
+
+    def test_remote_allocation_costlier_than_local(self, policy):
+        sid = next(iter(policy._streams))
+        curve = flat_curve([0, 0, 0])  # all hits: only distance matters
+        policy._epoch_access_totals = {sid: 1000}
+        policy._acc_counts = {sid: {0: 1000}}
+        policy._acc_units = {sid: [0]}
+        local = StreamAllocation.single_group(
+            sid, np.array([4, 0, 0, 0], dtype=np.int64)
+        )
+        remote = StreamAllocation.single_group(
+            sid, np.array([0, 0, 0, 4], dtype=np.int64)
+        )
+        curves = {sid: curve}
+        assert policy._predicted_cost(curves, [local]) < policy._predicted_cost(
+            curves, [remote]
+        )
+
+    def test_unknown_curve_ignored(self, policy):
+        sid = next(iter(policy._streams))
+        alloc = StreamAllocation.single_group(
+            sid, np.array([1, 0, 0, 0], dtype=np.int64)
+        )
+        assert policy._predicted_cost({}, [alloc]) == 0.0
+
+
+class TestMeanHitDistance:
+    def test_local_consumer_zero_distance(self, policy):
+        sid = next(iter(policy._streams))
+        policy._acc_counts = {sid: {0: 100}}
+        alloc = StreamAllocation.single_group(
+            sid, np.array([4, 0, 0, 0], dtype=np.int64)
+        )
+        assert policy._mean_hit_distance_ns(alloc) == 0.0
+
+    def test_remote_consumer_positive(self, policy):
+        sid = next(iter(policy._streams))
+        policy._acc_counts = {sid: {3: 100}}
+        alloc = StreamAllocation.single_group(
+            sid, np.array([4, 0, 0, 0], dtype=np.int64)
+        )
+        assert policy._mean_hit_distance_ns(alloc) > 0
+
+    def test_empty_allocation_zero(self, policy):
+        sid = next(iter(policy._streams))
+        policy._acc_counts = {sid: {0: 100}}
+        alloc = StreamAllocation.empty(sid, policy.config.n_units)
+        assert policy._mean_hit_distance_ns(alloc) == 0.0
+
+
+class TestFallbackCurve:
+    def test_bounded_by_accesses(self, policy):
+        sid = next(iter(policy._streams))
+        curve = policy._fallback_curve(sid, accesses=500)
+        assert curve.misses.max() <= 500
+        assert curve.misses.min() >= 0
+
+    def test_decreasing(self, policy):
+        sid = next(iter(policy._streams))
+        curve = policy._fallback_curve(sid, accesses=500)
+        assert (np.diff(curve.misses) <= 1e-9).all()

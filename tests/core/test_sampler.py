@@ -1,0 +1,88 @@
+"""Tests for the set-based miss-curve samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import MissCurveSampler, SamplerParams, sample_curve
+from repro.core.stream import StreamConfig, StreamKind
+
+
+def make_stream(elem=64, n_elems=4096):
+    return StreamConfig(
+        sid=1,
+        kind=StreamKind.INDIRECT,
+        base=1 << 16,
+        size=elem * n_elems,
+        elem_size=elem,
+    )
+
+
+def zipf_elems(n, size, seed=0, s=1.2):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=float)
+    cdf = np.cumsum(ranks**-s)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size)).astype(np.int64)
+
+
+class TestSamplerParams:
+    def test_paper_storage(self):
+        """k=32 sets x c=64 capacities x 4 B = 8 kB per sampler."""
+        params = SamplerParams()
+        assert params.storage_bytes == 8 * 1024
+
+    def test_capacities_geometric(self):
+        caps = SamplerParams().capacities()
+        assert caps[0] == 32 * 1024
+        assert caps[-1] == 256 * 1024 * 1024
+        assert len(caps) == 64
+
+
+class TestSampleCurve:
+    def params(self, k=64):
+        return SamplerParams(
+            sample_sets=k, capacity_points=8, min_capacity=1024, max_capacity=1 << 20
+        )
+
+    def test_misses_decrease_with_capacity_for_reuse(self):
+        tags = zipf_elems(4096, 30_000)
+        curve = sample_curve(tags, 64, self.params()).monotone()
+        assert curve.misses[0] > curve.misses[-1]
+
+    def test_streaming_trace_flat(self):
+        """A pure scan has only compulsory misses at every capacity below
+        its footprint."""
+        tags = np.arange(20_000, dtype=np.int64)
+        curve = sample_curve(tags, 64, self.params())
+        assert curve.misses.min() > 0.8 * curve.misses.max()
+
+    def test_scaling_matches_exact_roughly(self):
+        """K/k set sampling approximates the full simulation (Sec V-A)."""
+        stream = make_stream()
+        elems = zipf_elems(4096, 40_000, seed=3)
+        sampler = MissCurveSampler(stream, self.params(k=256))
+        sampled = sampler.observe(elems)
+        exact = sampler.exact_curve(elems)
+        for cap in sampled.capacities[2:]:
+            est, ref = sampled.misses_at(cap), exact.misses_at(cap)
+            if ref > 500:
+                assert abs(est - ref) / ref < 0.5
+
+    def test_empty_trace(self):
+        curve = sample_curve(np.empty(0, dtype=np.int64), 64, self.params())
+        assert curve.misses.sum() == 0
+
+
+class TestMissCurveSampler:
+    def test_granularity_groups_elements(self):
+        stream = make_stream(elem=4, n_elems=1024)
+        sampler = MissCurveSampler(stream, SamplerParams(capacity_points=4, min_capacity=256, max_capacity=4096))
+        sampler.set_granularity(64)
+        tags = sampler._tags_of(np.array([0, 15, 16, 31, 32]))
+        assert list(tags) == [0, 0, 1, 1, 2]
+
+    def test_rejects_bad_granularity(self):
+        stream = make_stream()
+        sampler = MissCurveSampler(stream, SamplerParams())
+        with pytest.raises(ValueError):
+            sampler.set_granularity(0)

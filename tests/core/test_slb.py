@@ -1,0 +1,66 @@
+"""Tests for the stream lookahead buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.slb import SLB_ENTRY_BYTES, StreamLookaheadBuffer
+
+
+class TestSlb:
+    def test_cold_miss_then_hits(self):
+        slb = StreamLookaheadBuffer(entries=4, hit_ns=1.0, refill_ns=100.0)
+        result = slb.process(np.array([7, 7, 7]))
+        assert result.misses == 1
+        assert result.hits == 2
+        assert result.latency_ns[0] == pytest.approx(101.0)
+        assert result.latency_ns[1] == pytest.approx(1.0)
+
+    def test_state_persists_across_calls(self):
+        slb = StreamLookaheadBuffer(entries=4)
+        slb.process(np.array([1]))
+        result = slb.process(np.array([1]))
+        assert result.misses == 0
+
+    def test_lru_eviction(self):
+        slb = StreamLookaheadBuffer(entries=2)
+        slb.process(np.array([1, 2, 3]))  # evicts 1
+        result = slb.process(np.array([1]))
+        assert result.misses == 1
+        result = slb.process(np.array([3]))
+        assert result.misses == 0
+
+    def test_run_compression_only_first_of_run_misses(self):
+        slb = StreamLookaheadBuffer(entries=1)
+        result = slb.process(np.array([1, 1, 2, 2, 1, 1]))
+        assert result.misses == 3
+
+    def test_invalidate(self):
+        slb = StreamLookaheadBuffer(entries=4)
+        slb.process(np.array([1]))
+        slb.invalidate()
+        assert slb.process(np.array([1])).misses == 1
+
+    def test_empty_sequence(self):
+        slb = StreamLookaheadBuffer()
+        result = slb.process(np.array([], dtype=np.int64))
+        assert result.hits == 0
+        assert result.misses == 0
+        assert result.hit_rate == 0.0
+
+    def test_paper_sram_cost(self):
+        """32 entries at 142 B each = 4544 B (Section VI)."""
+        slb = StreamLookaheadBuffer(entries=32)
+        assert slb.sram_bytes == 4544
+        assert SLB_ENTRY_BYTES == 142
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            StreamLookaheadBuffer(entries=0)
+
+    def test_typical_workload_stays_resident(self):
+        """Fewer streams than entries: only compulsory misses."""
+        slb = StreamLookaheadBuffer(entries=32)
+        rng = np.random.default_rng(1)
+        sids = rng.integers(0, 16, size=5000)
+        result = slb.process(sids)
+        assert result.misses == 16

@@ -1,0 +1,158 @@
+"""Tests for the stream abstraction (Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import (
+    MAX_STREAMS,
+    ORDER_PERMUTATIONS,
+    StreamConfig,
+    StreamKind,
+    StreamTable,
+    configure_stream,
+)
+
+
+def affine(sid=0, base=4096, size=4096, elem=4, **kw):
+    return StreamConfig(
+        sid=sid, kind=StreamKind.AFFINE, base=base, size=size, elem_size=elem, **kw
+    )
+
+
+class TestTableIValidation:
+    def test_sid_fits_9_bits(self):
+        with pytest.raises(ValueError):
+            affine(sid=512)
+        assert affine(sid=511).sid == 511
+
+    def test_base_fits_48_bits(self):
+        with pytest.raises(ValueError):
+            affine(base=1 << 48)
+
+    def test_size_must_divide_into_elements(self):
+        with pytest.raises(ValueError):
+            affine(size=100, elem=64)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            affine(size=0)
+        with pytest.raises(ValueError):
+            affine(elem=0)
+
+    def test_max_streams_is_512(self):
+        assert MAX_STREAMS == 512
+
+    def test_dims_product_must_match(self):
+        with pytest.raises(ValueError):
+            affine(size=4096, elem=4, dims=(100, 3))
+        ok = affine(size=4096, elem=4, dims=(32, 32))
+        assert ok.dims == (32, 32)
+
+    def test_at_most_three_dims(self):
+        with pytest.raises(ValueError):
+            affine(size=4096, elem=4, dims=(2, 2, 2, 128))
+
+    def test_order_only_for_affine(self):
+        with pytest.raises(ValueError):
+            StreamConfig(
+                sid=0,
+                kind=StreamKind.INDIRECT,
+                base=0,
+                size=64,
+                elem_size=4,
+                order=1,
+            )
+
+    def test_order_fits_3_bits(self):
+        with pytest.raises(ValueError):
+            affine(order=8)
+
+    def test_metadata_bits_affine_larger(self):
+        a = affine()
+        i = StreamConfig(sid=1, kind=StreamKind.INDIRECT, base=1 << 20, size=64, elem_size=4)
+        assert a.metadata_bits() > i.metadata_bits()
+        # Affine adds 3 strides (48b), 2 lengths (48b), and the order field.
+        assert a.metadata_bits() - i.metadata_bits() == 48 * 3 + 48 * 2 + 3
+
+
+class TestElementIds:
+    def test_linear_stream(self):
+        s = affine()
+        addrs = np.array([4096, 4100, 4096 + 4 * 100])
+        assert list(s.element_ids(addrs)) == [0, 1, 100]
+
+    def test_out_of_bounds_rejected(self):
+        s = affine()
+        with pytest.raises(ValueError):
+            s.element_ids(np.array([0]))
+
+    def test_order_zero_is_storage_order(self):
+        s = affine(size=4096, elem=4, dims=(32, 32), order=0)
+        addr = 4096 + 4 * (5 + 32 * 7)  # (x=5, y=7)
+        assert s.element_ids(np.array([addr]))[0] == 5 + 32 * 7
+
+    def test_column_major_reorder(self):
+        """Permutation (1,0,2) (order=2) iterates the second dim innermost:
+        column-major access over row-major storage."""
+        s = affine(size=4096, elem=4, dims=(32, 32), order=2)
+        addr = 4096 + 4 * (5 + 32 * 7)  # storage (x=5, y=7)
+        # Access order: y innermost -> id = y + 32 * x.
+        assert s.element_ids(np.array([addr]))[0] == 7 + 32 * 5
+
+    def test_reorder_is_a_bijection(self):
+        s = affine(size=4096, elem=4, dims=(16, 64), order=2)
+        ids = s.element_ids(s.base + 4 * np.arange(s.n_elements))
+        assert sorted(ids) == list(range(s.n_elements))
+
+    @given(st.integers(min_value=0, max_value=len(ORDER_PERMUTATIONS) - 1))
+    @settings(max_examples=len(ORDER_PERMUTATIONS))
+    def test_addresses_of_inverts_element_ids(self, order):
+        s = affine(size=4 * 8 * 4 * 2, elem=4, dims=(8, 4, 2), order=order)
+        all_addrs = s.base + 4 * np.arange(s.n_elements)
+        ids = s.element_ids(all_addrs)
+        assert np.array_equal(s.addresses_of(ids), all_addrs)
+
+
+class TestStreamTable:
+    def test_resolve(self):
+        table = StreamTable()
+        a = configure_stream(table, "affine", base=4096, size=4096, elem_size=4)
+        b = configure_stream(table, "indirect", base=16384, size=4096, elem_size=4)
+        addrs = np.array([4096, 16384, 100, 8192 + 4095])
+        assert list(table.resolve(addrs)) == [a.sid, b.sid, -1, -1]
+
+    def test_overlap_rejected(self):
+        table = StreamTable()
+        configure_stream(table, "affine", base=4096, size=4096, elem_size=4)
+        with pytest.raises(ValueError):
+            configure_stream(table, "affine", base=8000, size=4096, elem_size=4)
+
+    def test_duplicate_sid_rejected(self):
+        table = StreamTable()
+        configure_stream(table, "affine", base=4096, size=64, elem_size=4, sid=3)
+        with pytest.raises(ValueError):
+            configure_stream(table, "affine", base=1 << 20, size=64, elem_size=4, sid=3)
+
+    def test_auto_sid_assignment(self):
+        table = StreamTable()
+        a = configure_stream(table, "affine", base=4096, size=64, elem_size=4)
+        b = configure_stream(table, "affine", base=1 << 20, size=64, elem_size=4)
+        assert a.sid != b.sid
+
+    def test_resolve_empty_table(self):
+        table = StreamTable()
+        assert list(table.resolve(np.array([1, 2]))) == [-1, -1]
+
+    def test_iteration_and_lookup(self):
+        table = StreamTable()
+        s = configure_stream(table, "affine", base=4096, size=64, elem_size=4, name="x")
+        assert s.sid in table
+        assert table.get(s.sid).name == "x"
+        assert len(table) == 1
+
+    def test_total_metadata_bits(self):
+        table = StreamTable()
+        configure_stream(table, "affine", base=4096, size=64, elem_size=4)
+        assert table.total_metadata_bits() > 0

@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_run_requires_workload_and_policy(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run"])
+
+    def test_valid_run_args(self):
+        args = build_parser().parse_args(
+            ["--preset", "tiny", "run", "--workload", "pr", "--policy", "ndpext"]
+        )
+        assert args.preset == "tiny"
+        assert args.workload == "pr"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom", "--policy", "ndpext"])
+
+    def test_figure_choices_cover_all_panels(self):
+        expected = {
+            "fig2", "fig4b", "fig5", "fig6", "fig7", "fig8a", "fig8b",
+            "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "sec5d",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["--preset", "tiny", "run", "--workload", "pr", "--policy", "ndpext-static"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime cycles" in out
+        assert "hit rate" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["--preset", "tiny", "compare", "--workload", "hotspot"]) == 0
+        out = capsys.readouterr().out
+        assert "ndpext" in out
+        assert "jigsaw" in out
+
+    def test_figure_command(self, capsys):
+        assert main(["--preset", "tiny", "figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency breakdown" in out

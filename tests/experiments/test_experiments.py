@@ -1,0 +1,95 @@
+"""Structural tests for the experiment drivers (tiny preset for speed)."""
+
+import pytest
+
+from repro.experiments import fig2, fig4b, fig5, fig6, fig7, fig8, fig9, sec5d
+from repro.experiments.runner import (
+    ExperimentContext,
+    add_geomean_row,
+    speedup_table,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(preset="tiny")
+
+
+WORKLOADS = ("pr", "hotspot")
+
+
+class TestRunner:
+    def test_reports_cached(self, context):
+        a = context.run("pr", "ndpext-static")
+        b = context.run("pr", "ndpext-static")
+        assert a is b
+
+    def test_speedup_table_shape(self, context):
+        table = speedup_table(context, list(WORKLOADS), ["ndpext", "nexus"])
+        assert set(table) == set(WORKLOADS)
+        for row in table.values():
+            assert set(row) == {"ndpext", "nexus"}
+            assert all(v > 0 for v in row.values())
+
+    def test_geomean_row(self):
+        table = {"a": {"p": 2.0}, "b": {"p": 8.0}}
+        extended = add_geomean_row(table)
+        assert extended["geomean"]["p"] == pytest.approx(4.0)
+
+    def test_host_runs(self, context):
+        report = context.run_host("pr")
+        assert report.runtime_cycles > 0
+
+
+class TestFigureDrivers:
+    def test_fig2(self, context):
+        result = fig2.run(context, verbose=False)
+        assert set(result) == {"ndp", "nuca"}
+        for row in result.values():
+            assert 0 <= row["hit_rate"] <= 1
+        # NDP's big cache hits more than the small NUCA LLC.
+        assert result["ndp"]["hit_rate"] > result["nuca"]["hit_rate"]
+
+    def test_fig4b(self):
+        result = fig4b.run(n_units=8, verbose=False, repeats=1)
+        assert all(r["ms"] > 0 for r in result.values())
+
+    def test_fig5(self, context):
+        table = fig5.run(context, workloads=WORKLOADS, verbose=False)
+        assert "geomean" in table
+        assert set(table["geomean"]) == set(fig5.POLICIES)
+
+    def test_fig6(self, context):
+        result = fig6.run(context, workloads=WORKLOADS, verbose=False)
+        for row in result.values():
+            assert row["ndpext_total"] > 0
+
+    def test_fig7(self, context):
+        result = fig7.run(context, workloads=WORKLOADS, verbose=False)
+        for row in result.values():
+            assert row["nexus_ic_ns"] >= 0
+            assert 0 <= row["ndpext_miss"] <= 1
+
+    def test_fig8_cxl(self, context):
+        result = fig8.run_cxl(context, workloads=("pr",), verbose=False)
+        assert set(result) == set(fig8.CXL_LATENCIES_NS)
+        assert all(v > 0 for v in result.values())
+
+    def test_fig9_reconfig_method(self, context):
+        result = fig9.run_reconfig_method(
+            context, workloads=("pr",), verbose=False
+        )
+        assert result["pr"]["full"] == pytest.approx(1.0)
+
+    def test_fig9_associativity(self, context):
+        result = fig9.run_associativity(context, workloads=("pr",), verbose=False)
+        assert result["default"] == pytest.approx(1.0)
+        # Associativity never hurts (hit monotonicity).
+        assert all(v >= 0.95 for v in result.values())
+
+    def test_sec5d(self, context):
+        result = sec5d.run(context, workloads=("pr",), verbose=False)
+        row = result["pr"]
+        assert row["consistent_invalidations"] <= row["bulk_invalidations"] or (
+            row["bulk_invalidations"] == 0
+        )

@@ -1,0 +1,44 @@
+"""Structural tests for the remaining figure panels (tiny preset)."""
+
+import pytest
+
+from repro.experiments import fig8, fig9
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(preset="tiny")
+
+
+class TestFig8Scaling:
+    def test_all_scale_points_present(self, context):
+        result = fig8.run_scaling(context, workloads=("pr",), verbose=False)
+        labels = {label for label, *_ in fig8.SCALE_POINTS}
+        assert labels <= set(result)
+        assert "single-unit" in result
+        assert all(v > 0 for v in result.values())
+
+
+class TestFig9Panels:
+    def test_block_size_panel(self, context):
+        result = fig9.run_block_size(context, workloads=("hotspot",), verbose=False)
+        assert result["default"] == pytest.approx(1.0)
+        assert set(result) == {
+            "256B", "512B", "default", "2048B", "4096B", "adaptive",
+        }
+
+    def test_affine_space_panel(self, context):
+        result = fig9.run_affine_space(context, workloads=("hotspot",), verbose=False)
+        assert result["default"] == pytest.approx(1.0)
+        assert "unlimited" in result
+
+    def test_sampler_sets_panel(self, context):
+        result = fig9.run_sampler_sets(context, workloads=("pr",), verbose=False)
+        assert result["default"] == pytest.approx(1.0)
+        assert len(result) >= 3
+
+    def test_interval_panel(self, context):
+        result = fig9.run_reconfig_interval(context, workloads=("pr",), verbose=False)
+        assert result["default"] == pytest.approx(1.0)
+        assert set(result) == {"default", "x2", "x4"}

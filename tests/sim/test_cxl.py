@@ -1,0 +1,52 @@
+"""Tests for the CXL-attached extended memory model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cxl import ExtendedMemory
+from repro.sim.params import DDR5_4800, CxlParams
+
+
+def make_memory(**overrides):
+    params = dict(link_ns=200.0, pj_per_bit=11.4, lanes=16, channels=4)
+    params.update(overrides)
+    return ExtendedMemory(CxlParams(**params), DDR5_4800)
+
+
+class TestLatency:
+    def test_includes_link_latency(self):
+        memory = make_memory()
+        result = memory.access(np.array([0]))
+        assert result.latency_ns[0] >= 200.0 + DDR5_4800.row_hit_ns
+
+    def test_link_latency_additive(self):
+        slow = make_memory(link_ns=400.0).access(np.array([0]))
+        fast = make_memory(link_ns=50.0).access(np.array([0]))
+        assert slow.latency_ns[0] - fast.latency_ns[0] == pytest.approx(350.0)
+
+    def test_serialization_scales_with_lanes(self):
+        wide = make_memory(lanes=16)
+        narrow = make_memory(lanes=1)
+        assert narrow.serialization_ns() == pytest.approx(
+            16 * wide.serialization_ns()
+        )
+
+    def test_channels_interleave_row_buffers(self):
+        memory = make_memory(channels=4)
+        row = DDR5_4800.row_bytes
+        # Rows 0..3 land on different channels; revisiting row 0 hits.
+        addrs = np.array([0, row, 2 * row, 3 * row, 8])
+        result = memory.access(addrs)
+        assert result.row_hit[4]
+
+
+class TestEnergy:
+    def test_link_energy_per_access(self):
+        memory = make_memory()
+        result = memory.access(np.array([0, 64]))
+        expected = 2 * 64 * 8 * 11.4 / 1000.0
+        assert result.link_energy_nj == pytest.approx(expected)
+
+    def test_dram_energy_positive(self):
+        result = make_memory().access(np.array([0]))
+        assert result.dram_energy_nj > 0

@@ -1,0 +1,69 @@
+"""Tests for the DRAM row-buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram import DramModel
+from repro.sim.params import DDR5_4800, HBM3
+
+
+class TestRowBuffer:
+    def test_same_row_hits(self):
+        model = DramModel(HBM3)
+        addrs = np.array([0, 8, 64, 128])  # all in row 0
+        result = model.access(addrs)
+        assert list(result.row_hit) == [False, True, True, True]
+
+    def test_different_rows_same_bank_conflict(self):
+        model = DramModel(HBM3)
+        row = HBM3.row_bytes
+        banks = HBM3.banks
+        # Rows 0 and `banks` share bank 0 but differ in row id.
+        addrs = np.array([0, row * banks, 0])
+        result = model.access(addrs)
+        assert list(result.row_hit) == [False, False, False]
+
+    def test_different_banks_independent(self):
+        model = DramModel(HBM3)
+        row = HBM3.row_bytes
+        addrs = np.array([0, row, 0, row])  # rows 0,1 -> banks 0,1
+        result = model.access(addrs)
+        assert list(result.row_hit) == [False, False, True, True]
+
+    def test_latency_values(self):
+        model = DramModel(HBM3)
+        result = model.access(np.array([0, 0]))
+        assert result.latency_ns[0] == pytest.approx(HBM3.row_miss_ns)
+        assert result.latency_ns[1] == pytest.approx(HBM3.row_hit_ns)
+
+    def test_channel_separation(self):
+        model = DramModel(DDR5_4800)
+        addrs = np.array([0, 0])
+        # Same address but different channels: no shared row buffer.
+        result = model.access(addrs, channel=np.array([0, 1]))
+        assert list(result.row_hit) == [False, False]
+
+    def test_row_hit_rate(self):
+        model = DramModel(HBM3)
+        result = model.access(np.zeros(10, dtype=np.int64))
+        assert result.row_hit_rate == pytest.approx(0.9)
+
+    def test_empty_batch(self):
+        model = DramModel(HBM3)
+        result = model.access(np.empty(0, dtype=np.int64))
+        assert result.total_latency_ns == 0.0
+        assert result.row_hit_rate == 0.0
+
+
+class TestEnergy:
+    def test_misses_add_activation(self):
+        model = DramModel(HBM3)
+        hit_only = model.energy_nj(np.array([True]))
+        miss_only = model.energy_nj(np.array([False]))
+        assert miss_only == pytest.approx(hit_only + HBM3.act_pre_nj)
+
+    def test_scales_with_accesses(self):
+        model = DramModel(HBM3)
+        one = model.energy_nj(np.array([True]))
+        ten = model.energy_nj(np.full(10, True))
+        assert ten == pytest.approx(10 * one)

@@ -1,0 +1,89 @@
+"""Engine edge-path tests: bypass addresses, probe charging, fills."""
+
+import numpy as np
+import pytest
+
+from repro.core.stream import StreamTable, configure_stream
+from repro.sim.engine import DramCachePolicy, RequestOutcome, SimulationEngine
+from repro.sim.params import tiny
+from repro.workloads.trace import Trace, Workload
+
+
+class ProbingMissPolicy(DramCachePolicy):
+    """Misses that require a DRAM probe at the home unit (indirect tags)."""
+
+    name = "probing-miss"
+
+    def __init__(self, probe: bool):
+        self.probe = probe
+
+    def setup(self, config, topology, workload):
+        self.config = config
+
+    def process(self, epoch):
+        n = len(epoch)
+        unit = epoch.core.astype(np.int64) % self.config.n_units
+        return RequestOutcome(
+            hit=np.zeros(n, dtype=bool),
+            serving_unit=unit,
+            local_row=np.zeros(n, dtype=np.int64),
+            miss_probe_dram=np.full(n, self.probe),
+            metadata_ns=np.zeros(n),
+        )
+
+
+def mixed_workload(n=1000):
+    """Half the accesses fall outside every stream (bypass)."""
+    table = StreamTable()
+    stream = configure_stream(
+        table, "indirect", base=1 << 20, size=1 << 18, elem_size=64
+    )
+    rng = np.random.default_rng(5)
+    in_stream = stream.base + rng.integers(0, stream.n_elements, n // 2) * 64
+    outside = rng.integers(0, 1 << 18, n - n // 2) * 64  # below the stream
+    addrs = np.concatenate([in_stream, outside])
+    rng.shuffle(addrs)
+    trace = Trace(
+        core=np.arange(n, dtype=np.int32) % 4,
+        addr=addrs,
+        write=np.zeros(n, bool),
+        sid=np.full(n, -1, np.int32),
+    )
+    return Workload(name="mixed", streams=table, trace=trace)
+
+
+class TestBypass:
+    def test_non_stream_addresses_resolve_to_minus_one(self):
+        wl = mixed_workload()
+        assert (wl.trace.sid == -1).sum() > 0
+        assert (wl.trace.sid >= 0).sum() > 0
+
+    def test_bypass_requests_reach_extended_memory(self):
+        from repro.core import NdpExtPolicy
+
+        config = tiny()
+        report = SimulationEngine(config).run(mixed_workload(), NdpExtPolicy())
+        # Bypass accesses can never be cache hits, so misses must be
+        # substantial.
+        assert report.hits.cache_misses > 0
+        assert report.breakdown.extended_ns > 0
+
+
+class TestProbeCharging:
+    def test_probe_misses_cost_more_dram(self):
+        config = tiny()
+        wl = mixed_workload()
+        with_probe = SimulationEngine(config).run(wl, ProbingMissPolicy(True))
+        without = SimulationEngine(config).run(wl, ProbingMissPolicy(False))
+        assert with_probe.breakdown.dram_ns > without.breakdown.dram_ns
+        assert with_probe.runtime_cycles > without.runtime_cycles
+
+    def test_fill_energy_charged_on_misses(self):
+        config = tiny()
+        report = SimulationEngine(config).run(
+            mixed_workload(), ProbingMissPolicy(False)
+        )
+        # Fills write the fetched line into NDP DRAM: energy but no
+        # critical-path DRAM latency.
+        assert report.energy.ndp_dram_nj > 0
+        assert report.breakdown.dram_ns == 0.0

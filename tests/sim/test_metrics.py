@@ -1,0 +1,81 @@
+"""Tests for the measurement containers."""
+
+import pytest
+
+from repro.sim.metrics import (
+    EnergyBreakdown,
+    HitStats,
+    LatencyBreakdown,
+    SimulationReport,
+)
+
+
+class TestLatencyBreakdown:
+    def test_total(self):
+        b = LatencyBreakdown(sram_ns=1, metadata_ns=2, dram_ns=3)
+        assert b.total_ns == 6
+
+    def test_add(self):
+        a = LatencyBreakdown(dram_ns=1)
+        b = LatencyBreakdown(dram_ns=2, extended_ns=5)
+        c = a + b
+        assert c.dram_ns == 3
+        assert c.extended_ns == 5
+
+    def test_interconnect(self):
+        b = LatencyBreakdown(intra_noc_ns=2, inter_noc_ns=3)
+        assert b.interconnect_ns == 5
+
+    def test_fractions_sum_to_one(self):
+        b = LatencyBreakdown(sram_ns=1, dram_ns=3)
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions_of_empty(self):
+        assert sum(LatencyBreakdown().fractions().values()) == 0.0
+
+
+class TestEnergyBreakdown:
+    def test_total_and_add(self):
+        a = EnergyBreakdown(static_nj=1, noc_nj=2)
+        b = EnergyBreakdown(static_nj=3)
+        assert (a + b).total_nj == 6
+
+
+class TestHitStats:
+    def test_rates(self):
+        h = HitStats(l1_hits=10, cache_hits_local=6, cache_hits_remote=2, cache_misses=2)
+        assert h.cache_accesses == 10
+        assert h.cache_hit_rate == pytest.approx(0.8)
+        assert h.miss_rate == pytest.approx(0.2)
+        assert h.total_requests == 20
+
+    def test_empty(self):
+        assert HitStats().cache_hit_rate == 0.0
+
+    def test_add(self):
+        total = HitStats(l1_hits=1) + HitStats(l1_hits=2, cache_misses=3)
+        assert total.l1_hits == 3
+        assert total.cache_misses == 3
+
+
+class TestSimulationReport:
+    def test_speedup(self):
+        fast = SimulationReport(policy="a", workload="w", runtime_cycles=100)
+        slow = SimulationReport(policy="b", workload="w", runtime_cycles=200)
+        assert fast.speedup_over(slow) == 2.0
+
+    def test_speedup_rejects_zero_runtime(self):
+        broken = SimulationReport(policy="a", workload="w", runtime_cycles=0)
+        other = SimulationReport(policy="b", workload="w", runtime_cycles=1)
+        with pytest.raises(ValueError):
+            broken.speedup_over(other)
+
+    def test_avg_latency(self):
+        report = SimulationReport(
+            policy="a",
+            workload="w",
+            runtime_cycles=1,
+            breakdown=LatencyBreakdown(dram_ns=100),
+            hits=HitStats(cache_hits_local=10),
+        )
+        assert report.avg_access_latency_ns == 10.0

@@ -1,0 +1,43 @@
+"""Failure injection: malformed policy outcomes must fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import RequestOutcome
+
+
+def valid_kwargs(n=4):
+    return dict(
+        hit=np.zeros(n, dtype=bool),
+        serving_unit=np.full(n, -1, dtype=np.int64),
+        local_row=np.full(n, -1, dtype=np.int64),
+        miss_probe_dram=np.zeros(n, dtype=bool),
+        metadata_ns=np.zeros(n),
+    )
+
+
+class TestOutcomeValidation:
+    def test_valid_outcome_accepted(self):
+        RequestOutcome(**valid_kwargs())
+
+    @pytest.mark.parametrize(
+        "field", ["serving_unit", "local_row", "miss_probe_dram", "metadata_ns"]
+    )
+    def test_length_mismatch_rejected(self, field):
+        kwargs = valid_kwargs()
+        kwargs[field] = kwargs[field][:-1]
+        with pytest.raises(ValueError, match=field):
+            RequestOutcome(**kwargs)
+
+    def test_hit_without_serving_unit_rejected(self):
+        kwargs = valid_kwargs()
+        kwargs["hit"] = np.array([True, False, False, False])
+        with pytest.raises(ValueError, match="hit must name"):
+            RequestOutcome(**kwargs)
+
+    def test_hit_with_unit_accepted(self):
+        kwargs = valid_kwargs()
+        kwargs["hit"] = np.array([True, False, False, False])
+        kwargs["serving_unit"] = np.array([2, -1, -1, -1])
+        kwargs["local_row"] = np.array([0, -1, -1, -1])
+        RequestOutcome(**kwargs)

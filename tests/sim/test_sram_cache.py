@@ -1,0 +1,80 @@
+"""Tests for the SRAM cache models (exact LRU and window filter)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.params import SramCacheParams
+from repro.sim.sram_cache import SetAssocLRUCache, filter_through_l1
+
+
+def params(size=1024, ways=4, line=64):
+    return SramCacheParams(size_bytes=size, ways=ways, line_bytes=line)
+
+
+class TestExactLRU:
+    def test_repeat_hits(self):
+        cache = SetAssocLRUCache(params())
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(32)  # same line
+
+    def test_lru_eviction_order(self):
+        # One-set cache with 2 ways.
+        cache = SetAssocLRUCache(params(size=128, ways=2))
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)  # refresh line 0
+        cache.access(128)  # evicts line 64 (LRU)
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    def test_set_isolation(self):
+        cache = SetAssocLRUCache(params(size=256, ways=1))  # 4 sets
+        cache.access(0)
+        cache.access(64)
+        assert cache.access(0)
+
+    def test_hit_rate_accounting(self):
+        cache = SetAssocLRUCache(params())
+        cache.run(np.array([0, 0, 0, 0]))
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssocLRUCache(params(size=192, ways=4))  # 3 lines, not divisible
+
+
+class TestWindowFilter:
+    def test_streaming_misses(self):
+        addrs = np.arange(0, 64 * 1000, 64)
+        result = filter_through_l1(addrs, params())
+        assert result.hit_rate == 0.0
+
+    def test_hot_line_hits(self):
+        addrs = np.zeros(100, dtype=np.int64)
+        result = filter_through_l1(addrs, params())
+        assert result.hits == 99
+
+    def test_same_line_offsets_hit(self):
+        addrs = np.array([0, 8, 16, 24])
+        result = filter_through_l1(addrs, params())
+        assert result.hits == 3
+
+    def test_exact_mode_uses_reference(self):
+        addrs = np.array([0, 64, 0, 128, 64])
+        exact = filter_through_l1(addrs, params(size=128, ways=2), exact=True)
+        assert exact.hits + exact.misses == len(addrs)
+
+    def test_window_tracks_exact_on_mixed_trace(self):
+        """The fast filter should agree with exact LRU within ~15% hit rate
+        on a representative mixed streaming/reuse trace."""
+        rng = np.random.default_rng(7)
+        hot = rng.integers(0, 16, size=2000) * 64  # 16 hot lines
+        stream = np.arange(0, 64 * 2000, 64) + 1 << 20
+        trace = np.empty(4000, dtype=np.int64)
+        trace[0::2] = hot
+        trace[1::2] = stream[:2000]
+        p = params(size=4096, ways=4)
+        fast = filter_through_l1(trace, p)
+        exact = filter_through_l1(trace, p, exact=True)
+        assert abs(fast.hit_rate - exact.hit_rate) < 0.15

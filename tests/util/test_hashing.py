@@ -1,0 +1,104 @@
+"""Tests for the deterministic hashing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.hashing import (
+    bucket,
+    bucket_array,
+    mix64,
+    mix64_array,
+    weighted_bucket,
+    weighted_bucket_array,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_different_keys_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_stays_in_64_bits(self):
+        for key in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(key) < 2**64
+
+    def test_avalanche(self):
+        """Flipping one input bit flips roughly half the output bits."""
+        flips = bin(mix64(1234) ^ mix64(1235)).count("1")
+        assert 16 <= flips <= 48
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_scalar_matches_vector(self, key):
+        scalar = mix64(key)
+        vector = int(mix64_array(np.array([key], dtype=np.uint64))[0])
+        assert scalar == vector
+
+
+class TestBucket:
+    def test_in_range(self):
+        for key in range(100):
+            assert 0 <= bucket(key, 7) < 7
+
+    def test_rejects_non_positive_buckets(self):
+        with pytest.raises(ValueError):
+            bucket(1, 0)
+
+    def test_salt_changes_mapping(self):
+        mapped_a = [bucket(k, 16, salt=1) for k in range(64)]
+        mapped_b = [bucket(k, 16, salt=2) for k in range(64)]
+        assert mapped_a != mapped_b
+
+    def test_roughly_uniform(self):
+        counts = np.bincount(
+            bucket_array(np.arange(10_000, dtype=np.uint64), 10), minlength=10
+        )
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_scalar_matches_vector(self, key, buckets):
+        scalar = bucket(key, buckets)
+        vector = int(bucket_array(np.array([key], dtype=np.uint64), buckets)[0])
+        assert scalar == vector
+
+
+class TestWeightedBucket:
+    def test_zero_weight_never_chosen(self):
+        weights = [4, 0, 4]
+        chosen = {weighted_bucket(k, weights) for k in range(500)}
+        assert 1 not in chosen
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            weighted_bucket(1, [0, 0])
+
+    def test_proportional(self):
+        weights = np.array([1, 3], dtype=np.int64)
+        keys = np.arange(20_000, dtype=np.uint64)
+        chosen = weighted_bucket_array(keys, weights)
+        fraction = (chosen == 1).mean()
+        assert 0.70 < fraction < 0.80
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8).filter(
+            lambda w: sum(w) > 0
+        ),
+    )
+    @settings(max_examples=50)
+    def test_scalar_matches_vector(self, key, weights):
+        scalar = weighted_bucket(key, weights)
+        vector = int(
+            weighted_bucket_array(
+                np.array([key], dtype=np.uint64), np.array(weights, dtype=np.int64)
+            )[0]
+        )
+        assert scalar == vector
+        assert weights[scalar] > 0

@@ -1,0 +1,137 @@
+"""Tests for the Edmonds-Karp max-flow solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.maxflow import FlowNetwork, solve_bipartite_assignment
+
+
+class TestFlowNetwork:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_series_takes_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths_add(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(2, 3, 3)
+        assert net.max_flow(0, 3) == 5
+
+    def test_classic_augmenting_case(self):
+        """The diamond with a cross edge that requires flow cancellation."""
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        net.add_node(2)
+        assert net.max_flow(0, 2) == 0
+
+    def test_repeated_edges_accumulate(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2)
+        net.add_edge(0, 1, 3)
+        assert net.max_flow(0, 1) == 5
+
+    def test_flow_on_reports_edge_flow(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 4)
+        net.add_edge(1, 2, 3)
+        net.max_flow(0, 2)
+        assert net.flow_on(0, 1) == 3
+        assert net.flow_on(1, 2) == 3
+
+    def test_rejects_self_loop(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge(1, 1, 1)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1)
+
+    def test_rejects_unknown_nodes(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        with pytest.raises(KeyError):
+            net.max_flow(0, 99)
+
+    def test_rejects_same_source_sink(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+
+class TestBipartiteAssignment:
+    def test_paper_example(self):
+        """Fig. 4(a): 3 units, 4 streams, full coverage is possible."""
+        capacities = {0: 4, 1: 4, 2: 4}
+        edges = [(0, 0), (1, 0), (1, 1), (1, 2), (2, 2), (2, 3)]
+        assignment = solve_bipartite_assignment(capacities, [0, 1, 2, 3], edges)
+        assert sorted(assignment) == [0, 1, 2, 3]
+        for stream, unit in assignment.items():
+            assert (unit, stream) in edges
+
+    def test_capacity_limits_coverage(self):
+        capacities = {0: 1}
+        edges = [(0, 0), (0, 1), (0, 2)]
+        assignment = solve_bipartite_assignment(capacities, [0, 1, 2], edges)
+        assert len(assignment) == 1
+
+    def test_empty_streams(self):
+        assert solve_bipartite_assignment({0: 4}, [], []) == {}
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(KeyError):
+            solve_bipartite_assignment({0: 1}, [0], [(5, 0)])
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_respects_constraints(self, n_units, n_streams, cap, data):
+        edges = []
+        for s in range(n_streams):
+            accessors = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n_units - 1),
+                    min_size=1,
+                    max_size=n_units,
+                    unique=True,
+                )
+            )
+            edges.extend((u, s) for u in accessors)
+        capacities = {u: cap for u in range(n_units)}
+        assignment = solve_bipartite_assignment(
+            capacities, list(range(n_streams)), edges
+        )
+        # Every assignment uses a real edge.
+        for stream, unit in assignment.items():
+            assert (unit, stream) in edges
+        # No unit exceeds its sampler capacity.
+        for u in range(n_units):
+            assert sum(1 for v in assignment.values() if v == u) <= cap
+        # Coverage is maximal in the trivial sufficient-capacity case.
+        if n_streams <= cap:
+            assert len(assignment) == n_streams

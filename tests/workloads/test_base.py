@@ -1,0 +1,128 @@
+"""Tests for workload construction helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import (
+    WorkloadBuilder,
+    WorkloadScale,
+    concat_ranges,
+    interleave_pairs,
+    partition_range,
+)
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert list(out) == [0, 1, 2, 10, 11]
+
+    def test_zero_lengths_skipped(self):
+        out = concat_ranges(np.array([5, 0, 7]), np.array([0, 2, 0]))
+        assert list(out) == [0, 1]
+
+    def test_empty(self):
+        assert len(concat_ranges(np.array([]), np.array([]))) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            concat_ranges(np.array([0]), np.array([-1]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_reference(self, pairs):
+        starts = np.array([p[0] for p in pairs], dtype=np.int64)
+        lengths = np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = (
+            np.concatenate([np.arange(s, s + l) for s, l in pairs])
+            if pairs and lengths.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(concat_ranges(starts, lengths), expected)
+
+
+class TestPartitionRange:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50)
+    def test_partitions_cover_exactly(self, n, parts):
+        covered = []
+        for i in range(parts):
+            start, stop = partition_range(n, parts, i)
+            covered.extend(range(start, stop))
+        assert covered == list(range(n))
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            partition_range(10, 4, 4)
+
+
+class TestInterleavePairs:
+    def test_alternates(self):
+        out = interleave_pairs(np.array([1, 3]), np.array([2, 4]))
+        assert list(out) == [1, 2, 3, 4]
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            interleave_pairs(np.array([1]), np.array([1, 2]))
+
+
+class TestWorkloadBuilder:
+    def scale(self):
+        return WorkloadScale(n_cores=2, accesses_per_core=100, footprint_bytes=1 << 16)
+
+    def test_streams_get_disjoint_addresses(self):
+        builder = WorkloadBuilder("t", self.scale())
+        a = builder.add_stream("a", "affine", 100, 4)
+        b = builder.add_stream("b", "indirect", 100, 4)
+        assert a.config.end <= b.config.base
+
+    def test_emit_clipping_respects_budget(self):
+        builder = WorkloadBuilder("t", self.scale())
+        s = builder.add_stream("a", "affine", 10_000, 4)
+        for _ in range(100):
+            builder.emit(0, s.addr(np.arange(50)))
+        workload = builder.build()
+        per_core = np.bincount(workload.trace.core, minlength=2)
+        assert per_core[0] <= 100
+
+    def test_full_flag(self):
+        builder = WorkloadBuilder("t", self.scale())
+        s = builder.add_stream("a", "affine", 10_000, 4)
+        assert not builder.full()
+        for core in (0, 1):
+            builder.emit(core, s.addr(np.arange(200)))
+        assert builder.full()
+
+    def test_build_resolves_sids(self):
+        builder = WorkloadBuilder("t", self.scale())
+        s = builder.add_stream("a", "affine", 100, 4)
+        builder.emit(0, s.addr(np.arange(10)))
+        workload = builder.build()
+        assert (workload.trace.sid == s.sid).all()
+
+    def test_stream_handle_bounds_check(self):
+        builder = WorkloadBuilder("t", self.scale())
+        s = builder.add_stream("a", "affine", 10, 4)
+        with pytest.raises(ValueError):
+            s.addr(np.array([10]))
+
+    def test_per_process_scale(self):
+        scale = WorkloadScale(n_cores=16, footprint_bytes=1 << 20, processes=4)
+        per = scale.per_process(1)
+        assert per.n_cores == 4
+        assert per.footprint_bytes == 1 << 18
+        assert per.processes == 1
+        assert per.seed != scale.per_process(2).seed

@@ -1,0 +1,125 @@
+"""Tests for the 13 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SUITE, TINY, WorkloadScale, build
+from repro.workloads.registry import FACTORIES
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return {name: build(name, TINY) for name in SUITE}
+
+
+class TestSuiteStructure:
+    def test_thirteen_workloads(self):
+        assert len(SUITE) == 13
+        assert set(SUITE) == {
+            "recsys", "mv", "gnn", "backprop", "hotspot", "lavaMD", "lud",
+            "pathfinder", "bfs", "pr", "cc", "bc", "tc",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build("doom")
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_builds_nonempty(self, suite, name):
+        wl = suite[name]
+        assert len(wl.trace) > 0
+        assert wl.n_streams >= 2
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_accesses_inside_streams(self, suite, name):
+        wl = suite[name]
+        resolved = wl.streams.resolve(wl.trace.addr)
+        coverage = (resolved >= 0).mean()
+        # The paper: >99% of accesses captured by streams.
+        assert coverage > 0.99
+        assert np.array_equal(resolved, wl.trace.sid)
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_deterministic(self, name):
+        a = build(name, TINY)
+        b = build(name, TINY)
+        assert np.array_equal(a.trace.addr, b.trace.addr)
+        assert np.array_equal(a.trace.core, b.trace.core)
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_respects_core_count(self, suite, name):
+        wl = suite[name]
+        assert wl.trace.n_cores <= TINY.n_cores
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_budget_roughly_respected(self, suite, name):
+        wl = suite[name]
+        per_core = np.bincount(wl.trace.core)
+        assert per_core.max() <= TINY.accesses_per_core
+
+
+class TestStreamKinds:
+    def test_pr_has_indirect_gathers(self, suite):
+        wl = suite["pr"]
+        kinds = {s.name: s.kind.value for s in wl.streams}
+        assert kinds["rank_src"] == "indirect"
+        assert kinds["edges"] == "affine"
+
+    def test_pr_mostly_stream_mix(self, suite):
+        """PageRank splits between affine and indirect accesses (paper:
+        55% affine / 44% indirect)."""
+        wl = suite["pr"]
+        affine_sids = {s.sid for s in wl.streams if s.is_affine}
+        frac_affine = np.isin(wl.trace.sid, list(affine_sids)).mean()
+        assert 0.2 < frac_affine < 0.8
+
+    def test_recsys_embedding_tables_indirect(self, suite):
+        wl = suite["recsys"]
+        emb = [s for s in wl.streams if "emb" in s.name]
+        assert emb and all(not s.is_affine for s in emb)
+        assert all(s.read_only for s in emb)
+
+    def test_mv_vector_read_only(self, suite):
+        wl = suite["mv"]
+        assert wl.stream_by_name("x").read_only
+        assert not np.any(wl.trace.write & (wl.trace.sid == wl.stream_by_name("x").sid))
+
+    def test_lud_uses_order_annotation(self, suite):
+        wl = suite["lud"]
+        assert wl.stream_by_name("matrix").order != 0
+
+    def test_backprop_two_phases(self, suite):
+        wl = suite["backprop"]
+        assert any(name == "adjust_weights" for _, name in wl.phases)
+        weights = wl.stream_by_name("weights")
+        writes_to_weights = wl.trace.write & (wl.trace.sid == weights.sid)
+        assert writes_to_weights.any()
+        # The forward phase reads the weights before any write.
+        first_write = np.flatnonzero(writes_to_weights)[0]
+        reads_before = (~wl.trace.write[:first_write]) & (
+            wl.trace.sid[:first_write] == weights.sid
+        )
+        assert reads_before.any()
+
+    def test_writes_exist_where_expected(self, suite):
+        for name in ("hotspot", "pathfinder", "cc", "lud"):
+            assert suite[name].trace.write.any(), name
+
+
+class TestMultiProcess:
+    def test_processes_merge(self):
+        scale = WorkloadScale(
+            n_cores=4, accesses_per_core=2000, footprint_bytes=256 * 1024, processes=2
+        )
+        wl = build("pr", scale)
+        names = {s.name for s in wl.streams}
+        assert any(n.startswith("p0:") for n in names)
+        assert wl.n_streams >= 8  # two processes' worth
+
+    def test_footprint_scales_with_processes(self):
+        single = build("pr", TINY)
+        multi = build(
+            "pr",
+            TINY.scaled(processes=2, footprint_bytes=TINY.footprint_bytes * 2),
+        )
+        assert multi.n_streams > single.n_streams

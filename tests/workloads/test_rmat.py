@@ -1,0 +1,71 @@
+"""Tests for the R-MAT graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.rmat import build_csr, rmat_edges, rmat_graph
+
+
+class TestRmatEdges:
+    def test_shape_and_range(self):
+        edges = rmat_edges(scale=8, edge_factor=4, seed=1)
+        assert edges.shape == (256 * 4, 2)
+        assert edges.min() >= 0
+        assert edges.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, seed=5)
+        b = rmat_edges(scale=6, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_edges(self):
+        a = rmat_edges(scale=6, seed=1)
+        b = rmat_edges(scale=6, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=0)
+        with pytest.raises(ValueError):
+            rmat_edges(scale=4, a=0.5, b=0.3, c=0.2)  # no room for d
+
+
+class TestBuildCsr:
+    def test_removes_self_loops(self):
+        edges = np.array([[0, 0], [0, 1]])
+        graph = build_csr(edges, 2, symmetric=False)
+        assert graph.n_edges == 1
+
+    def test_deduplicates(self):
+        edges = np.array([[0, 1], [0, 1]])
+        graph = build_csr(edges, 2, symmetric=False)
+        assert graph.n_edges == 1
+
+    def test_symmetric_adds_reverse(self):
+        edges = np.array([[0, 1]])
+        graph = build_csr(edges, 3, symmetric=True)
+        assert 1 in graph.neighbors(0)
+        assert 0 in graph.neighbors(1)
+
+    def test_indptr_consistent(self):
+        graph = rmat_graph(scale=8, seed=2)
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == graph.n_edges
+        assert np.all(np.diff(graph.indptr) >= 0)
+        assert np.array_equal(graph.degrees(), np.diff(graph.indptr))
+
+
+class TestGraphShape:
+    def test_power_law_skew(self):
+        """R-MAT graphs have hub vertices far above the mean degree."""
+        graph = rmat_graph(scale=12, seed=1)
+        degrees = graph.degrees()
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_permutation_spreads_hubs(self):
+        """Vertex relabeling should decorrelate degree from vertex id."""
+        graph = rmat_graph(scale=12, seed=1)
+        degrees = graph.degrees().astype(float)
+        ids = np.arange(len(degrees), dtype=float)
+        corr = np.corrcoef(ids, degrees)[0, 1]
+        assert abs(corr) < 0.1

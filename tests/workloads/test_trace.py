@@ -1,0 +1,134 @@
+"""Tests for trace containers, interleaving, and process merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.stream import StreamTable, configure_stream
+from repro.workloads.trace import Trace, Workload, interleave, merge_processes
+
+
+def simple_workload(name="w", n=100, base=4096, n_cores=2, seed=1):
+    table = StreamTable()
+    stream = configure_stream(table, "affine", base=base, size=4096, elem_size=4)
+    rng = np.random.default_rng(seed)
+    trace = Trace(
+        core=rng.integers(0, n_cores, n).astype(np.int32),
+        addr=base + rng.integers(0, 1024, n) * 4,
+        write=np.zeros(n, bool),
+        sid=np.full(n, stream.sid, np.int32),
+    )
+    return Workload(name=name, streams=table, trace=trace)
+
+
+class TestTrace:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Trace(
+                core=np.zeros(2, np.int32),
+                addr=np.zeros(3, np.int64),
+                write=np.zeros(2, bool),
+                sid=np.zeros(2, np.int32),
+            )
+
+    def test_epochs_split(self):
+        wl = simple_workload(n=250)
+        epochs = wl.trace.epochs(100)
+        assert [len(e) for e in epochs] == [100, 100, 50]
+
+    def test_epochs_reject_zero(self):
+        wl = simple_workload()
+        with pytest.raises(ValueError):
+            wl.trace.epochs(0)
+
+    def test_select(self):
+        wl = simple_workload()
+        mask = wl.trace.core == 0
+        sub = wl.trace.select(mask)
+        assert (sub.core == 0).all()
+
+
+class TestInterleave:
+    def test_preserves_per_core_order(self):
+        a = (np.array([1, 2, 3]), np.zeros(3, bool))
+        b = (np.array([10, 20]), np.zeros(2, bool))
+        trace = interleave([a, b])
+        for core in (0, 1):
+            addrs = trace.addr[trace.core == core]
+            assert list(addrs) == sorted(addrs)
+
+    def test_proportional_progress(self):
+        a = (np.arange(100), np.zeros(100, bool))
+        b = (np.arange(100) + 1000, np.zeros(100, bool))
+        trace = interleave([a, b])
+        # In the first half of the merged trace each core contributes
+        # roughly half its accesses.
+        first_half = trace.core[: len(trace) // 2]
+        assert abs((first_half == 0).mean() - 0.5) < 0.1
+
+    def test_empty_core_skipped(self):
+        trace = interleave([(np.array([]), np.array([], bool)), (np.array([1]), np.array([False]))])
+        assert len(trace) == 1
+
+    def test_all_empty(self):
+        assert len(interleave([])) == 0
+
+
+class TestWorkload:
+    def test_auto_resolves_sids(self):
+        table = StreamTable()
+        stream = configure_stream(table, "affine", base=4096, size=4096, elem_size=4)
+        trace = Trace(
+            core=np.zeros(3, np.int32),
+            addr=np.array([4096, 4100, 99]),
+            write=np.zeros(3, bool),
+            sid=np.full(3, -1, np.int32),
+        )
+        wl = Workload(name="w", streams=table, trace=trace)
+        assert list(wl.trace.sid) == [stream.sid, stream.sid, -1]
+
+    def test_stream_by_name(self):
+        wl = simple_workload()
+        stream = next(iter(wl.streams))
+        assert wl.stream_by_name(stream.name) is stream
+        with pytest.raises(KeyError):
+            wl.stream_by_name("nope")
+
+    def test_summary_mentions_footprint(self):
+        assert "MB footprint" in simple_workload().summary()
+
+
+class TestMergeProcesses:
+    def test_single_instance_passthrough(self):
+        wl = simple_workload()
+        assert merge_processes([wl]) is wl
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_processes([])
+
+    def test_address_spaces_disjoint(self):
+        merged = merge_processes(
+            [simple_workload(seed=1), simple_workload(seed=2)]
+        )
+        streams = sorted(merged.streams, key=lambda s: s.base)
+        assert streams[0].end <= streams[1].base
+
+    def test_cores_renumbered(self):
+        merged = merge_processes(
+            [simple_workload(n_cores=2, seed=1), simple_workload(n_cores=2, seed=2)]
+        )
+        assert merged.trace.n_cores == 4
+
+    def test_sids_remapped_and_resolvable(self):
+        merged = merge_processes(
+            [simple_workload(seed=1), simple_workload(seed=2)]
+        )
+        assert len(merged.streams) == 2
+        resolved = merged.streams.resolve(merged.trace.addr)
+        assert np.array_equal(resolved, merged.trace.sid)
+
+    def test_trace_length_is_sum(self):
+        merged = merge_processes(
+            [simple_workload(n=50, seed=1), simple_workload(n=70, seed=2)]
+        )
+        assert len(merged.trace) == 120
