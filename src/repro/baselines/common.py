@@ -33,6 +33,7 @@ from repro.core.stream_cache import (
     unpack_set_idx,
     unpack_unit,
 )
+from repro.faults import EpochFaults, FaultState
 from repro.sim.cachesim import _prev_in_group, direct_mapped_hits
 from repro.sim.engine import DramCachePolicy, ReconfigStats, RequestOutcome
 from repro.sim.params import CACHELINE_BYTES, SystemConfig
@@ -225,6 +226,34 @@ class PartitionedNucaPolicy(DramCachePolicy):
 
     def end_epoch(self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome) -> None:
         self.observe(epoch_idx, epoch, self._last_pids)
+
+    def on_faults(
+        self, epoch_idx: int, events: EpochFaults, state: FaultState
+    ) -> ReconfigStats:
+        """Fail-stop: drop the lines lost with the hardware, nothing more.
+
+        The partition maps are left untouched, so lines that hash to the
+        lost hardware keep doing so and the engine demotes those accesses
+        to extended-memory bypasses — the bypass fallback the baselines
+        get instead of NDPExt's remap recovery.
+        """
+        stats = ReconfigStats()
+        dead = np.array(sorted(events.unit_failures), dtype=np.int64)
+        for pid, (sets, lines) in list(self._resident.items()):
+            units = unpack_unit(sets)
+            keep = np.ones(len(sets), dtype=bool)
+            if len(dead):
+                keep &= ~np.isin(units, dead)
+            for unit, row in events.row_faults:
+                keep &= ~(
+                    (units == unit)
+                    & (unpack_set_idx(sets) // self.lines_per_row == row)
+                )
+            lost = int((~keep).sum())
+            if lost:
+                stats.invalidations += lost
+                self._resident[pid] = (sets[keep], lines[keep])
+        return stats
 
     # -- mapping helpers --------------------------------------------------
 

@@ -103,19 +103,32 @@ class CacheConfigurator:
         curves: dict[int, MissCurve],
         acc_units: dict[int, list[int]],
         acc_counts: dict[int, dict[int, int]] | None = None,
+        unit_capacity: np.ndarray | None = None,
+        write_excepted: set[int] | None = None,
     ) -> ConfigResult:
         """Derive allocations for all streams with miss curves.
 
         ``curves`` capacities are *per-copy* bytes.  ``acc_units[sid]``
         lists the units whose cores accessed the stream last epoch;
-        ``acc_counts`` optionally weights them.
+        ``acc_counts`` optionally weights them.  ``unit_capacity``
+        overrides the per-unit row budget — after hardware faults the
+        surviving capacities are passed here so the configuration
+        re-optimizes around the degraded machine.  ``write_excepted``
+        names streams annotated read-only that have been written (the
+        mapper's write exception): they are placed as a single copy.
         """
         self._streams = streams
+        self._write_excepted = write_excepted or set()
         self._acc_units = {
             sid: sorted(set(units)) for sid, units in acc_units.items()
         }
         self._acc_counts = acc_counts or {}
-        self._free = np.full(self.n_units, self.rows_per_unit, dtype=np.int64)
+        if unit_capacity is not None:
+            self._free = np.asarray(unit_capacity, dtype=np.int64).copy()
+            if len(self._free) != self.n_units:
+                raise ValueError("unit_capacity must have one entry per unit")
+        else:
+            self._free = np.full(self.n_units, self.rows_per_unit, dtype=np.int64)
         self._affine_used = np.zeros(self.n_units, dtype=np.int64)
         self._groups: dict[int, list[Group]] = {}
         exhausted: set[int] = set()
@@ -175,7 +188,7 @@ class CacheConfigurator:
         read-write streams (single copy, coherence)."""
         stream = self._streams[sid]
         units = self._acc_units[sid]
-        if stream.read_only:
+        if stream.read_only and sid not in self._write_excepted:
             self._groups[sid] = [Group(sid, {u: 0}) for u in units]
         else:
             self._groups[sid] = [Group(sid, {u: 0 for u in units})]

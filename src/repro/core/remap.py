@@ -122,6 +122,9 @@ class RemapTable:
             raise ValueError("n_units and rows_per_unit must be positive")
         self.n_units = n_units
         self.rows_per_unit = rows_per_unit
+        # Usable rows per unit; shrinks when hardware is lost (a failed
+        # unit drops to zero, a quarantined DRAM row subtracts one).
+        self.capacity = np.full(n_units, rows_per_unit, dtype=np.int64)
         self._allocations: dict[int, StreamAllocation] = {}
 
     def __contains__(self, sid: int) -> bool:
@@ -149,16 +152,16 @@ class RemapTable:
         previous = self._allocations.get(allocation.sid)
         self._allocations[allocation.sid] = allocation
         used = self.rows_used_per_unit()
-        if np.any(used > self.rows_per_unit):
+        if np.any(used > self.capacity):
             # Roll back so the table stays consistent.
             if previous is None:
                 del self._allocations[allocation.sid]
             else:
                 self._allocations[allocation.sid] = previous
-            over = int(np.argmax(used))
+            over = int(np.argmax(used - self.capacity))
             raise ValueError(
                 f"allocation overflows unit {over}: {int(used[over])} rows "
-                f"> capacity {self.rows_per_unit}"
+                f"> capacity {int(self.capacity[over])}"
             )
         self._assign_row_bases()
 
@@ -173,11 +176,11 @@ class RemapTable:
         used = np.zeros(self.n_units, dtype=np.int64)
         for a in allocations:
             used += a.shares
-        if np.any(used > self.rows_per_unit):
-            over = int(np.argmax(used))
+        if np.any(used > self.capacity):
+            over = int(np.argmax(used - self.capacity))
             raise ValueError(
                 f"allocations overflow unit {over}: {int(used[over])} rows "
-                f"> capacity {self.rows_per_unit}"
+                f"> capacity {int(self.capacity[over])}"
             )
         self._allocations = table
         self._assign_row_bases()
@@ -197,7 +200,15 @@ class RemapTable:
         return used
 
     def rows_free_per_unit(self) -> np.ndarray:
-        return self.rows_per_unit - self.rows_used_per_unit()
+        return self.capacity - self.rows_used_per_unit()
+
+    def disable_unit(self, unit: int) -> None:
+        """Fail-stop: the unit's memory contributes no capacity anymore."""
+        self.capacity[unit] = 0
+
+    def reduce_capacity(self, unit: int, rows: int = 1) -> None:
+        """Quarantine ``rows`` bad DRAM rows of one unit."""
+        self.capacity[unit] = max(0, int(self.capacity[unit]) - rows)
 
     def metadata_bits(self, max_streams: int = 512) -> int:
         """Table I/Section IV-B accounting: streams x units x 40 bits."""

@@ -24,6 +24,7 @@ from repro.core.configure import CacheConfigurator, equal_share_allocations
 from repro.core.sampler import MissCurveSampler, SamplerParams
 from repro.core.stream import StreamConfig
 from repro.core.stream_cache import StreamCacheMapper
+from repro.faults import EpochFaults, FaultState
 from repro.sim.engine import DramCachePolicy, ReconfigStats, RequestOutcome
 from repro.sim.params import SystemConfig
 from repro.sim.topology import Topology
@@ -45,6 +46,7 @@ class NdpExtPolicy(DramCachePolicy):
         sampler_sets: int | None = None,
         adaptive_blocks: bool = False,
         warm_start: bool = True,
+        fault_recovery: bool = True,
         name: str | None = None,
     ) -> None:
         if mode not in ("full", "partial", "static"):
@@ -63,6 +65,9 @@ class NdpExtPolicy(DramCachePolicy):
         # of one global 1 kB.
         self.adaptive_blocks = adaptive_blocks
         self.warm_start = warm_start
+        # When False the runtime ignores fault events: requests to lost
+        # hardware fall through to extended memory (fail-stop baseline).
+        self.fault_recovery = fault_recovery
         self.name = name or ("ndpext" if mode == "full" else f"ndpext-{mode}")
 
     # ------------------------------------------------------------------
@@ -108,6 +113,7 @@ class NdpExtPolicy(DramCachePolicy):
         self._acc_units: dict[int, list[int]] = {}
         self._acc_counts: dict[int, dict[int, int]] = {}
         self._epoch_access_totals: dict[int, int] = {}
+        self._dead_units: set[int] = set()
         # Epoch 0 starts from the static equal split; the first measured
         # configuration lands at the epoch-1 boundary.
         initial = equal_share_allocations(
@@ -116,6 +122,34 @@ class NdpExtPolicy(DramCachePolicy):
         self.mapper.apply(initial)
 
     # ------------------------------------------------------------------
+
+    def on_faults(
+        self, epoch_idx: int, events: EpochFaults, state: FaultState
+    ) -> ReconfigStats:
+        """Graceful degradation: remap around the hardware that was lost.
+
+        Failed units leave every stream's consistent-hash ring, so
+        surviving units keep most of their resident lines (Section V-D's
+        minimal-movement property, reused for recovery).  Quarantined
+        DRAM rows are given up by the stream covering them and then
+        acknowledged, so the engine stops demoting accesses to them.
+        """
+        if not self.fault_recovery:
+            return ReconfigStats()
+        total = ReconfigStats()
+        if events.unit_failures:
+            self._dead_units.update(events.unit_failures)
+            stats = self.mapper.evict_units(events.unit_failures)
+            total.movements += stats.movements
+            total.invalidations += stats.invalidations
+        for unit, row in events.row_faults:
+            if unit in self._dead_units:
+                continue  # the whole unit is already gone
+            stats = self.mapper.quarantine_row(unit, row)
+            total.movements += stats.movements
+            total.invalidations += stats.invalidations
+            state.acknowledge_row(unit, row)
+        return total
 
     def _should_reconfigure(self, epoch_idx: int) -> bool:
         if self.mode == "static" or epoch_idx == 0 or not self._curves:
@@ -144,6 +178,8 @@ class NdpExtPolicy(DramCachePolicy):
             curves=curves,
             acc_units=self._acc_units,
             acc_counts=self._acc_counts,
+            unit_capacity=self.mapper.table.capacity,
+            write_excepted=self.mapper.write_excepted,
         )
         old_cost = self._predicted_cost(curves, self._current_allocations())
         new_cost = self._predicted_cost(curves, result.allocations)

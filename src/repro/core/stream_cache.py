@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.ata import AffineTagArray
 from repro.core.consistent import ConsistentRing, spots_of_group
-from repro.core.remap import RemapTable, StreamAllocation
+from repro.core.remap import NO_GROUP, RemapTable, StreamAllocation
 from repro.core.slb import StreamLookaheadBuffer
 from repro.core.stream import StreamConfig, StreamTable
 from repro.sim.cachesim import _prev_in_group, set_assoc_hits
@@ -448,6 +448,11 @@ class StreamCacheMapper:
             rescued_first_touches=rescued,
         )
 
+    @property
+    def write_excepted(self) -> set[int]:
+        """Streams demoted from read-only by the write exception."""
+        return set(self._write_excepted)
+
     def _handle_write_exceptions(self, epoch, metadata_ns: np.ndarray) -> np.ndarray:
         extra = np.zeros(len(epoch), dtype=np.float64)
         written = np.unique(epoch.sid[epoch.write & (epoch.sid >= 0)])
@@ -461,8 +466,10 @@ class StreamCacheMapper:
             stream = mapping.stream
             if not stream.read_only:
                 continue
+            # Tracked per-mapper (not written into the shared StreamConfig,
+            # which outlives this run): the configurator is told via
+            # ``write_excepted`` to stop replicating the stream.
             self._write_excepted.add(sid)
-            stream.read_only = False
             if len(mapping.groups) > 1:
                 # Collapse to a single copy: invalidate the replicas and
                 # charge the exception on the first write.
@@ -578,6 +585,74 @@ class StreamCacheMapper:
             self._resident[int(sid)] = ResidentState(
                 set_ids=k_sets[r_idx][ssel], tags=k_tags[r_idx][ssel]
             )
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (fault handling)
+    # ------------------------------------------------------------------
+
+    def _degraded_allocations(
+        self, adjust
+    ) -> list[StreamAllocation]:
+        """Rebuild every stream's allocation with ``adjust(sid, shares)``
+        applied; units that lose all rows leave their replication group."""
+        allocations = []
+        for stream in self.streams:
+            alloc = self.table.get_or_empty(stream.sid)
+            shares = alloc.shares.copy()
+            adjust(stream.sid, shares)
+            groups = np.where(shares > 0, alloc.groups, NO_GROUP)
+            allocations.append(
+                StreamAllocation(
+                    sid=stream.sid,
+                    shares=shares,
+                    groups=groups,
+                    row_base=np.zeros_like(shares),
+                )
+            )
+        return allocations
+
+    def evict_units(self, units: list[int]) -> ReconfigStats:
+        """Remove failed units from every stream's allocation.
+
+        The dead units' spots leave the consistent-hash rings, so tags
+        cached on surviving units mostly stay put (the Section V-D
+        minimal-movement property, now used for recovery); the lines the
+        failed units held are counted as invalidations.
+        """
+        dead = [int(u) for u in units]
+        for unit in dead:
+            self.table.disable_unit(unit)
+
+        def drop_dead(sid: int, shares: np.ndarray) -> None:
+            shares[dead] = 0
+
+        return self.apply(self._degraded_allocations(drop_dead))
+
+    def quarantine_row(self, unit: int, row: int) -> ReconfigStats:
+        """Retire one bad DRAM row of one unit.
+
+        The stream whose allocation covers the absolute ``row`` gives up
+        one row there (its ring loses one spot); the unit's capacity
+        shrinks so future configurations never reuse the bad row.
+        """
+        unit, row = int(unit), int(row)
+        victim = None
+        for sid in self.table.sids:
+            alloc = self.table.get(sid)
+            base = int(alloc.row_base[unit])
+            share = int(alloc.shares[unit])
+            if share > 0 and base <= row < base + share:
+                victim = sid
+                break
+        self.table.reduce_capacity(unit, 1)
+        if victim is None:
+            return ReconfigStats()
+
+        def shrink_victim(sid: int, shares: np.ndarray) -> None:
+            if sid == victim:
+                shares[unit] -= 1
+
+        return self.apply(self._degraded_allocations(shrink_victim))
 
     def notify_resize(self, sid: int) -> int:
         """Handle a stream reallocation (Section IV-C oversubscription).

@@ -12,10 +12,11 @@ fig7      Fig. 7 interconnect latency + miss rate (+ Sec VII-A metadata)
 fig8      Fig. 8(a) scale sweep, Fig. 8(b) CXL latency sweep
 fig9      Fig. 9(a)-(f) design-choice sweeps
 sec5d     Sec. V-D consistent hashing vs bulk invalidation
+faults    fault injection & graceful degradation (not a paper figure)
 ========  ==========================================================
 """
 
-from repro.experiments import fig2, fig4b, fig5, fig6, fig7, fig8, fig9, sec5d
+from repro.experiments import faults, fig2, fig4b, fig5, fig6, fig7, fig8, fig9, sec5d
 from repro.experiments.runner import (
     DEFAULT_CONTEXT,
     POLICIES,
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "faults",
     "fig2",
     "fig4b",
     "fig5",

@@ -23,6 +23,7 @@ from repro.baselines import (
     host_config,
 )
 from repro.core import NdpExtPolicy
+from repro.faults import FaultSchedule
 from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
 from repro.sim.params import medium, paper_hbm, paper_hmc
 from repro.util import geomean
@@ -90,15 +91,19 @@ class ExperimentContext:
         policy_factory: Callable[[], object] | None = None,
         scale: WorkloadScale | None = None,
         cache_key: str = "",
+        faults: FaultSchedule | None = None,
     ) -> SimulationReport:
         """Run (or fetch) one simulation cell."""
         config = config or self.config
-        key = (workload_name, policy_name, config.name, cache_key, scale)
+        # Normalize before keying so ``scale=None`` and an explicit
+        # default scale land on the same cache entry.
+        scale = scale or self.scale
+        key = (workload_name, policy_name, config.name, cache_key, scale, faults)
         if key in self._reports:
             return self._reports[key]
         workload = self.workload(workload_name, scale)
         factory = policy_factory or POLICIES[policy_name]
-        engine = SimulationEngine(config)
+        engine = SimulationEngine(config, faults=faults)
         report = engine.run(workload, factory())
         self._reports[key] = report
         return report
@@ -137,9 +142,19 @@ def speedup_table(
             if baseline == "host"
             else context.run(wname, baseline)
         )
+        if base.runtime_cycles <= 0:
+            raise ValueError(
+                f"baseline {baseline!r} on {wname!r} reported "
+                f"non-positive runtime ({base.runtime_cycles}); cannot normalize"
+            )
         table[wname] = {}
         for pname in policy_names:
             report = context.run(wname, pname)
+            if report.runtime_cycles <= 0:
+                raise ValueError(
+                    f"policy {pname!r} on {wname!r} reported non-positive "
+                    f"runtime ({report.runtime_cycles}); cannot normalize"
+                )
             table[wname][pname] = base.runtime_cycles / report.runtime_cycles
     return table
 

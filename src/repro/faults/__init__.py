@@ -1,0 +1,24 @@
+"""Fault injection and graceful degradation."""
+
+from repro.faults.schedule import (
+    CxlCrcBurst,
+    CxlLaneDowntrain,
+    DramRowFault,
+    FaultEvent,
+    FaultSchedule,
+    UnitFailure,
+    random_schedule,
+)
+from repro.faults.state import EpochFaults, FaultState
+
+__all__ = [
+    "CxlCrcBurst",
+    "CxlLaneDowntrain",
+    "DramRowFault",
+    "FaultEvent",
+    "FaultSchedule",
+    "UnitFailure",
+    "random_schedule",
+    "EpochFaults",
+    "FaultState",
+]

@@ -1,0 +1,200 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultSchedule` is an immutable list of fault events, each
+pinned to the epoch at which it strikes.  The taxonomy covers the three
+hardware layers a CXL-attached NDP system can lose (Section V-D's
+consistent-hashing placement is exactly what makes minimal-movement
+recovery from the first kind possible):
+
+* :class:`UnitFailure` — permanent fail-stop of one NDP unit's memory
+  vault: its cache capacity is gone and it can never serve a request
+  again.
+* :class:`CxlLaneDowntrain` — the CXL link retrains to a narrower width
+  (x16 -> x8 -> x4), degrading serialization bandwidth for the rest of
+  the run (or until a later event re-trains it wider).
+* :class:`CxlCrcBurst` — a transient window of CRC errors on the link:
+  affected transfers pay bounded exponential-backoff retransmissions,
+  and a transfer that exhausts its retries is re-issued over the
+  (possibly degraded) link from scratch.
+* :class:`DramRowFault` — a DRAM row in one unit goes bad and is
+  quarantined: its contents are lost and the row must never be used
+  again.
+
+Schedules are plain frozen dataclasses, so they hash/compare by value
+and can key experiment caches.  :func:`random_schedule` derives a
+schedule deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Permanent fail-stop of one NDP unit's memory at ``epoch``."""
+
+    epoch: int
+    unit: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("fault epoch cannot be negative")
+        if self.unit < 0:
+            raise ValueError("unit id cannot be negative")
+
+
+@dataclass(frozen=True)
+class CxlLaneDowntrain:
+    """The CXL link retrains to ``lanes`` lanes from ``epoch`` onward."""
+
+    epoch: int
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("fault epoch cannot be negative")
+        if self.lanes <= 0:
+            raise ValueError("a down-trained link still needs >= 1 lane")
+
+
+@dataclass(frozen=True)
+class CxlCrcBurst:
+    """CRC-retry burst on the CXL link for ``duration`` epochs.
+
+    While active, each extended-memory transfer independently suffers a
+    retry sequence with probability ``retry_prob``.  Retry ``i`` waits
+    ``backoff_ns * 2**(i-1)``; after ``max_retries`` failed
+    retransmissions the request is re-issued over the (possibly
+    down-trained) link, paying the full link latency + serialization
+    again.
+    """
+
+    epoch: int
+    duration: int = 1
+    retry_prob: float = 0.2
+    max_retries: int = 4
+    backoff_ns: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("fault epoch cannot be negative")
+        if self.duration < 1:
+            raise ValueError("a burst lasts at least one epoch")
+        if not 0.0 <= self.retry_prob <= 1.0:
+            raise ValueError("retry_prob must be a probability")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.backoff_ns < 0:
+            raise ValueError("backoff_ns cannot be negative")
+
+    def active_at(self, epoch: int) -> bool:
+        return self.epoch <= epoch < self.epoch + self.duration
+
+
+@dataclass(frozen=True)
+class DramRowFault:
+    """DRAM row ``row`` of unit ``unit`` goes bad at ``epoch``."""
+
+    epoch: int
+    unit: int
+    row: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("fault epoch cannot be negative")
+        if self.unit < 0 or self.row < 0:
+            raise ValueError("unit and row ids cannot be negative")
+
+
+FaultEvent = Union[UnitFailure, CxlLaneDowntrain, CxlCrcBurst, DramRowFault]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, hashable set of fault events plus an RNG seed.
+
+    The ``seed`` decorrelates the deterministic per-request CRC-retry
+    draws between otherwise identical schedules.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept any iterable but store a tuple so the schedule hashes.
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def events_of(self, kind: type) -> tuple:
+        return tuple(e for e in self.events if isinstance(e, kind))
+
+    def validate_for(self, n_units: int, full_lanes: int) -> None:
+        """Reject events naming hardware the system does not have."""
+        for event in self.events:
+            if isinstance(event, (UnitFailure, DramRowFault)):
+                if event.unit >= n_units:
+                    raise ValueError(
+                        f"fault names unit {event.unit} but the system has "
+                        f"only {n_units} units"
+                    )
+            if isinstance(event, CxlLaneDowntrain) and event.lanes > full_lanes:
+                raise ValueError(
+                    f"cannot down-train to {event.lanes} lanes on a "
+                    f"{full_lanes}-lane link"
+                )
+
+
+def random_schedule(
+    seed: int,
+    n_units: int,
+    n_epochs: int,
+    *,
+    unit_failures: int = 1,
+    row_faults: int = 2,
+    crc_bursts: int = 1,
+    downtrains: int = 1,
+    rows_per_unit: int = 64,
+    full_lanes: int = 16,
+) -> FaultSchedule:
+    """Derive a fault schedule deterministically from ``seed``.
+
+    The same arguments always produce the same schedule; events land in
+    the middle half of the run so both the healthy and the degraded
+    regime are observable.
+    """
+    if n_units < 1 or n_epochs < 2:
+        raise ValueError("need at least one unit and two epochs")
+    rng = np.random.default_rng(seed)
+    lo, hi = max(1, n_epochs // 4), max(2, 3 * n_epochs // 4)
+    events: list[FaultEvent] = []
+    failed = rng.choice(n_units, size=min(unit_failures, n_units), replace=False)
+    for unit in failed:
+        events.append(UnitFailure(epoch=int(rng.integers(lo, hi)), unit=int(unit)))
+    for _ in range(row_faults):
+        events.append(
+            DramRowFault(
+                epoch=int(rng.integers(lo, hi)),
+                unit=int(rng.integers(0, n_units)),
+                row=int(rng.integers(0, rows_per_unit)),
+            )
+        )
+    for _ in range(crc_bursts):
+        events.append(
+            CxlCrcBurst(
+                epoch=int(rng.integers(lo, hi)),
+                duration=int(rng.integers(1, 3)),
+                retry_prob=float(rng.uniform(0.1, 0.4)),
+            )
+        )
+    lanes = full_lanes
+    for _ in range(downtrains):
+        lanes = max(1, lanes // 2)
+        events.append(CxlLaneDowntrain(epoch=int(rng.integers(lo, hi)), lanes=lanes))
+    return FaultSchedule(events=tuple(events), seed=seed)

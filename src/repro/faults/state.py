@@ -1,0 +1,176 @@
+"""Per-run fault state the engine consults each epoch.
+
+:class:`FaultState` replays a :class:`~repro.faults.schedule.FaultSchedule`
+against one simulation run.  The engine calls :meth:`advance` at every
+epoch boundary; newly struck unit/row faults are handed to the policy's
+``on_faults`` hook so it can degrade gracefully (NDPExt evicts the unit
+from its consistent-hash rings and re-sizes capacities; the NUCA
+baselines merely drop the lost lines).  Whatever the policy does *not*
+recover from is enforced by the engine through :meth:`demote`: requests
+that a policy still maps to a dead unit or an un-remapped quarantined
+row are turned into extended-memory bypasses — the fail-stop fallback
+that keeps comparisons fair.
+
+All CRC-retry draws are derived from ``mix64`` hashes of (schedule seed,
+burst epoch, transfer sequence number), so two runs of the same schedule
+charge bit-identical penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.schedule import (
+    CxlCrcBurst,
+    CxlLaneDowntrain,
+    DramRowFault,
+    FaultSchedule,
+    UnitFailure,
+)
+from repro.sim.cxl import ExtendedMemory
+from repro.sim.metrics import FaultReport
+from repro.sim.params import CACHELINE_BYTES, SystemConfig
+from repro.util.hashing import mix64_array
+
+_TWO64 = float(2**64)
+
+
+@dataclass
+class EpochFaults:
+    """The policy-relevant events that struck at one epoch boundary."""
+
+    epoch: int
+    unit_failures: list[int] = field(default_factory=list)
+    row_faults: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.unit_failures or self.row_faults)
+
+
+class FaultState:
+    """Replays one fault schedule against one simulation run."""
+
+    def __init__(self, schedule: FaultSchedule, config: SystemConfig) -> None:
+        schedule.validate_for(config.n_units, config.cxl.lanes)
+        self.schedule = schedule
+        self.n_units = config.n_units
+        self.full_lanes = config.cxl.lanes
+        self.alive = np.ones(config.n_units, dtype=bool)
+        self.effective_lanes = config.cxl.lanes
+        self.active_crc: CxlCrcBurst | None = None
+        self.report = FaultReport(min_lanes=config.cxl.lanes)
+        self._crc_seq = 0
+        # (unit, row) -> acknowledged: a policy that remapped around the
+        # bad row acknowledges it, ending the engine-side demotion (the
+        # row is no longer reachable through the remap table).
+        self._quarantined: dict[tuple[int, int], bool] = {}
+        self._unacked: list[tuple[int, int]] = []
+        self._by_epoch: dict[int, list] = {}
+        for event in schedule.events:
+            if isinstance(event, (UnitFailure, CxlLaneDowntrain, DramRowFault)):
+                self._by_epoch.setdefault(event.epoch, []).append(event)
+        self._crc_bursts = schedule.events_of(CxlCrcBurst)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when some request may need engine-side demotion."""
+        return bool(self._unacked) or not bool(self.alive.all())
+
+    def advance(self, epoch_idx: int) -> EpochFaults:
+        """Apply the events striking at ``epoch_idx``; returns the new
+        policy-relevant faults (each delivered exactly once)."""
+        events = EpochFaults(epoch_idx)
+        for event in self._by_epoch.get(epoch_idx, []):
+            if isinstance(event, UnitFailure):
+                if self.alive[event.unit]:
+                    self.alive[event.unit] = False
+                    self.report.units_lost += 1
+                    events.unit_failures.append(event.unit)
+            elif isinstance(event, CxlLaneDowntrain):
+                self.effective_lanes = event.lanes
+                self.report.min_lanes = min(self.report.min_lanes, event.lanes)
+            elif isinstance(event, DramRowFault):
+                key = (event.unit, event.row)
+                if key not in self._quarantined and self.alive[event.unit]:
+                    self._quarantined[key] = False
+                    self.report.rows_quarantined += 1
+                    events.row_faults.append(key)
+        self.active_crc = next(
+            (b for b in self._crc_bursts if b.active_at(epoch_idx)), None
+        )
+        if self.effective_lanes < self.full_lanes:
+            self.report.downtrained_epochs += 1
+        self._unacked = [k for k, ack in self._quarantined.items() if not ack]
+        return events
+
+    def acknowledge_row(self, unit: int, row: int) -> None:
+        """A policy remapped around this quarantined row; stop demoting."""
+        key = (unit, row)
+        if key in self._quarantined:
+            self._quarantined[key] = True
+            self._unacked = [k for k, ack in self._quarantined.items() if not ack]
+
+    # ------------------------------------------------------------------
+
+    def demote(self, outcome) -> int:
+        """Force requests aimed at dead units or un-remapped quarantined
+        rows to bypass to extended memory; returns the demoted count."""
+        serving = outcome.serving_unit
+        bad = (serving >= 0) & ~self.alive[np.clip(serving, 0, None)]
+        for unit, row in self._unacked:
+            bad |= (serving == unit) & (outcome.local_row == row)
+        demoted = int(bad.sum())
+        if demoted:
+            outcome.hit[bad] = False
+            outcome.serving_unit[bad] = -1
+            outcome.miss_probe_dram[bad] = False
+            self.report.demoted_requests += demoted
+        return demoted
+
+    def cxl_penalty_ns(
+        self, n_ext: int, extended: ExtendedMemory
+    ) -> np.ndarray | None:
+        """Per-transfer fault latency for ``n_ext`` extended accesses.
+
+        Returns None when the link is healthy this epoch.  Down-trained
+        serialization is already charged inside the extended-memory
+        model (it uses the effective lane count); here we only attribute
+        that extra time to the fault report, and compute the CRC
+        retry/backoff penalties that ride on top.
+        """
+        if n_ext <= 0:
+            return None
+        if self.effective_lanes < self.full_lanes:
+            extra_ser = CACHELINE_BYTES / (4.0 * self.effective_lanes) - (
+                CACHELINE_BYTES / (4.0 * self.full_lanes)
+            )
+            self.report.degraded_link_extra_ns += n_ext * extra_ser
+        burst = self.active_crc
+        if burst is None or burst.retry_prob == 0.0:
+            return None
+        seq = np.arange(self._crc_seq, self._crc_seq + n_ext, dtype=np.uint64)
+        self._crc_seq += n_ext
+        salt = self.schedule.seed * 1_000_003 + burst.epoch * 97 + 13
+        draw = mix64_array(seq, salt=salt).astype(np.float64) / _TWO64
+        affected = draw < burst.retry_prob
+        retries = (
+            mix64_array(seq, salt=salt + 7) % np.uint64(burst.max_retries)
+        ).astype(np.int64) + 1
+        retries = np.where(affected, retries, 0)
+        # Exponential backoff: retry i waits backoff * 2**(i-1), so k
+        # retries cost backoff * (2**k - 1).
+        penalty = burst.backoff_ns * (np.exp2(retries.astype(np.float64)) - 1.0)
+        exhausted = affected & (retries == burst.max_retries)
+        if exhausted.any():
+            # Bounded retransmissions failed: re-issue the request over
+            # the (possibly degraded) link from scratch.
+            penalty[exhausted] += extended.cxl.link_ns + extended.serialization_ns()
+        self.report.crc_retries += int(retries.sum())
+        self.report.crc_reissues += int(exhausted.sum())
+        self.report.crc_retry_ns += float(penalty.sum())
+        return penalty

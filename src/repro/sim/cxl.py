@@ -35,14 +35,17 @@ class ExtendedMemory:
     def __init__(self, cxl: CxlParams, dram_timing: DramTiming) -> None:
         self.cxl = cxl
         self.dram = DramModel(dram_timing)
+        # Lanes currently trained; the fault layer narrows this when the
+        # link down-trains (x16 -> x8 -> x4).
+        self.effective_lanes = cxl.lanes
 
     def serialization_ns(self, bytes_moved: int = CACHELINE_BYTES) -> float:
-        """Time to move ``bytes_moved`` over the link at full lane speed.
+        """Time to move ``bytes_moved`` over the link at the trained width.
 
         CXL 2.0 x16 sustains roughly 4 GB/s per lane of usable bandwidth;
         the result is a small constant on top of the dominant link latency.
         """
-        bw_gbps = 4.0 * self.cxl.lanes
+        bw_gbps = 4.0 * self.effective_lanes
         return bytes_moved / bw_gbps
 
     def access(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults import EpochFaults, FaultSchedule, FaultState
 from repro.sim.cachesim import _prev_in_group
 from repro.sim.cxl import ExtendedMemory
 from repro.sim.dram import DramModel
@@ -119,6 +120,18 @@ class DramCachePolicy(ABC):
         """Reconfigure for the coming epoch; default: nothing changes."""
         return ReconfigStats()
 
+    def on_faults(
+        self, epoch_idx: int, events: EpochFaults, state: FaultState
+    ) -> ReconfigStats:
+        """React to newly injected hardware faults (graceful degradation).
+
+        Default: no reaction — a policy that ignores faults degrades
+        fail-stop, because the engine demotes every request it still
+        sends to a dead unit or a quarantined DRAM row into an
+        extended-memory bypass.
+        """
+        return ReconfigStats()
+
     @abstractmethod
     def process(self, epoch: Trace) -> RequestOutcome:
         """Decide hit/miss and serving location for each request."""
@@ -143,13 +156,17 @@ class SimulationEngine:
         self,
         config: SystemConfig,
         options: EngineOptions | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         self.config = config
         self.options = options or EngineOptions()
+        self.fault_schedule = faults
+        self.fault_state: FaultState | None = None
         self.topology = Topology(config)
         self.ndp_dram = DramModel(config.ndp_dram)
         self.extended = ExtendedMemory(config.cxl, config.ext_dram)
         self._ext_accesses = 0
+        self._ext_lane_accesses: dict[int, int] = {}
         self._inter_stack_bytes = 0
 
     def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
@@ -170,7 +187,14 @@ class SimulationEngine:
         core_stall_ns = np.zeros(n_threads)
         core_accesses = np.zeros(n_threads, dtype=np.int64)
         self._ext_accesses = 0
+        self._ext_lane_accesses = {}
         self._inter_stack_bytes = 0
+        self.fault_state = (
+            FaultState(self.fault_schedule, self.config)
+            if self.fault_schedule is not None
+            else None
+        )
+        self.extended.effective_lanes = self.config.cxl.lanes
         breakdown = LatencyBreakdown()
         energy = EnergyBreakdown()
         hits = HitStats()
@@ -179,6 +203,17 @@ class SimulationEngine:
         per_epoch_cycles: list[float] = []
 
         for epoch_idx, epoch in enumerate(epochs):
+            if self.fault_state is not None:
+                events = self.fault_state.advance(epoch_idx)
+                self.extended.effective_lanes = self.fault_state.effective_lanes
+                if not events.empty:
+                    fstats = policy.on_faults(epoch_idx, events, self.fault_state)
+                    movements += fstats.movements
+                    invalidations += fstats.invalidations
+                    self.fault_state.report.fault_movements += fstats.movements
+                    self.fault_state.report.fault_invalidations += (
+                        fstats.invalidations
+                    )
             stats = policy.begin_epoch(epoch_idx)
             movements += stats.movements
             invalidations += stats.invalidations
@@ -198,6 +233,8 @@ class SimulationEngine:
 
             if len(post_l1):
                 outcome = policy.process(post_l1)
+                if self.fault_state is not None and self.fault_state.degraded:
+                    self.fault_state.demote(outcome)
                 epoch_stall, ext_mask = self._charge(
                     post_l1, outcome, breakdown, energy, hits
                 )
@@ -236,6 +273,7 @@ class SimulationEngine:
             reconfig_movements=movements,
             reconfig_invalidations=invalidations,
             per_epoch_cycles=per_epoch_cycles,
+            faults=self.fault_state.report if self.fault_state else None,
         )
 
     def _runtime_cycles(
@@ -327,9 +365,14 @@ class SimulationEngine:
                 CACHELINE_BYTES / channel_bytes_per_ns + ext.row_miss_ns / ext.banks
             )
             bounds.append(n_ext * ddr_service_ns / self.config.cxl.channels)
-            # CXL link: ~4 GB/s usable per lane per direction.
-            link_bytes_per_ns = 4.0 * self.config.cxl.lanes
-            bounds.append(n_ext * CACHELINE_BYTES / link_bytes_per_ns)
+            # CXL link: ~4 GB/s usable per lane per direction.  Accesses
+            # made while the link was down-trained occupy it longer, so
+            # the bound sums per trained width.
+            link_ns = 0.0
+            for lanes, count in self._ext_lane_accesses.items():
+                link_bytes_per_ns = 4.0 * lanes
+                link_ns += count * CACHELINE_BYTES / link_bytes_per_ns
+            bounds.append(link_ns)
         if self._inter_stack_bytes:
             # Inter-stack links: Table II's 32 GB/s per direction, one
             # bidirectional link per stack-mesh edge.
@@ -441,7 +484,19 @@ class SimulationEngine:
             breakdown.inter_noc_ns += float((to_port + from_port).sum())
             energy.cxl_nj += ext_result.link_energy_nj
             energy.ext_dram_nj += ext_result.dram_energy_nj
-            self._ext_accesses += int(goes_ext.sum())
+            if self.fault_state is not None:
+                fault_ns = self.fault_state.cxl_penalty_ns(
+                    int(goes_ext.sum()), self.extended
+                )
+                if fault_ns is not None:
+                    ext_ns[goes_ext] += fault_ns
+                    ext_latency_total += float(fault_ns.sum())
+            n_ext_epoch = int(goes_ext.sum())
+            self._ext_accesses += n_ext_epoch
+            lanes_now = self.extended.effective_lanes
+            self._ext_lane_accesses[lanes_now] = (
+                self._ext_lane_accesses.get(lanes_now, 0) + n_ext_epoch
+            )
             # Fill energy: the fetched line is written into the home unit.
             fills = int(miss.sum())
             energy.ndp_dram_nj += fills * self.config.ndp_dram.access_energy_nj(

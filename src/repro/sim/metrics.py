@@ -107,6 +107,46 @@ class HitStats:
 
 
 @dataclass
+class FaultReport:
+    """What the fault layer did to one run (empty when nothing fired).
+
+    ``penalty_ns`` is the directly attributable latency the faults added
+    to the critical path: CRC backoff/re-issue time plus the extra
+    serialization of a down-trained link.  Capacity-loss effects (dead
+    units, quarantined rows) show up indirectly as extra extended-memory
+    traffic and are counted in ``demoted_requests`` /
+    ``fault_invalidations`` instead.
+    """
+
+    crc_retries: int = 0
+    crc_reissues: int = 0
+    crc_retry_ns: float = 0.0
+    downtrained_epochs: int = 0
+    min_lanes: int = 0
+    degraded_link_extra_ns: float = 0.0
+    units_lost: int = 0
+    rows_quarantined: int = 0
+    fault_invalidations: int = 0
+    fault_movements: int = 0
+    demoted_requests: int = 0
+
+    @property
+    def penalty_ns(self) -> float:
+        return self.crc_retry_ns + self.degraded_link_extra_ns
+
+    def __add__(self, other: "FaultReport") -> "FaultReport":
+        merged = FaultReport(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+                if f.name != "min_lanes"
+            }
+        )
+        merged.min_lanes = min(self.min_lanes, other.min_lanes)
+        return merged
+
+
+@dataclass
 class SimulationReport:
     """Everything one simulation run produces."""
 
@@ -119,6 +159,7 @@ class SimulationReport:
     reconfig_movements: int = 0
     reconfig_invalidations: int = 0
     per_epoch_cycles: list[float] = field(default_factory=list)
+    faults: FaultReport | None = None
 
     @property
     def avg_access_latency_ns(self) -> float:

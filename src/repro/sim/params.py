@@ -41,6 +41,16 @@ class DramTiming:
     row_bytes: int = 2 * KB
     banks: int = 16
 
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ValueError(f"{self.name}: freq_mhz must be positive")
+        if self.t_rcd < 0 or self.t_cas < 0 or self.t_rp < 0:
+            raise ValueError(f"{self.name}: DRAM timings cannot be negative")
+        if self.row_bytes <= 0 or self.banks <= 0:
+            raise ValueError(f"{self.name}: row_bytes and banks must be positive")
+        if self.rd_wr_pj_per_bit < 0 or self.act_pre_nj < 0:
+            raise ValueError(f"{self.name}: DRAM energies cannot be negative")
+
     def cycles_to_ns(self, cycles: int) -> float:
         return cycles * 1000.0 / self.freq_mhz
 
@@ -105,6 +115,14 @@ class NocParams:
     inter_bw_gbps: float = 32.0
     link_bits: int = 128
 
+    def __post_init__(self) -> None:
+        if self.intra_hop_ns < 0 or self.inter_hop_ns < 0:
+            raise ValueError("NoC hop latencies cannot be negative")
+        if self.intra_pj_per_bit < 0 or self.inter_pj_per_bit < 0:
+            raise ValueError("NoC energies cannot be negative")
+        if self.inter_bw_gbps <= 0 or self.link_bits <= 0:
+            raise ValueError("NoC bandwidth and link width must be positive")
+
 
 @dataclass(frozen=True)
 class CxlParams:
@@ -116,6 +134,12 @@ class CxlParams:
     channels: int = 4
     ranks: int = 2
 
+    def __post_init__(self) -> None:
+        if self.lanes <= 0 or self.channels <= 0 or self.ranks <= 0:
+            raise ValueError("CXL lanes/channels/ranks must be positive")
+        if self.link_ns < 0 or self.pj_per_bit < 0:
+            raise ValueError("CXL latency and energy cannot be negative")
+
 
 @dataclass(frozen=True)
 class SramCacheParams:
@@ -125,6 +149,14 @@ class SramCacheParams:
     ways: int
     line_bytes: int = CACHELINE_BYTES
     hit_ns: float = 0.5  # 1 cycle at 2 GHz
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("SRAM cache size/ways/line must be positive")
+        if self.hit_ns < 0:
+            raise ValueError("SRAM hit latency cannot be negative")
+        if self.size_bytes // self.line_bytes < self.ways:
+            raise ValueError("SRAM cache needs at least one set (lines >= ways)")
 
     @property
     def lines(self) -> int:
@@ -146,6 +178,10 @@ class CoreParams:
     l1d: SramCacheParams = field(
         default_factory=lambda: SramCacheParams(size_bytes=64 * KB, ways=4)
     )
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("core frequency must be positive")
 
     @property
     def cycle_ns(self) -> float:

@@ -175,7 +175,10 @@ class TestWriteException:
         writes = np.zeros(4, bool)
         writes[2] = True
         out = mapper.process(trace_of(stream, [1, 2, 3, 4], writes=writes))
-        assert not stream.read_only
+        assert stream.sid in mapper.write_excepted
+        # The shared StreamConfig stays pristine so reruns of the same
+        # workload are not contaminated by this run's write exception.
+        assert stream.read_only
         mapping = mapper._mappings[stream.sid]
         assert len(mapping.groups) == 1  # collapsed to a single copy
         # The exception latency lands on the first write.

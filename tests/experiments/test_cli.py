@@ -26,6 +26,7 @@ class TestParser:
         expected = {
             "fig2", "fig4b", "fig5", "fig6", "fig7", "fig8a", "fig8b",
             "fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "sec5d",
+            "faults",
         }
         assert set(FIGURES) == expected
 

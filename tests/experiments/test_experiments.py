@@ -24,6 +24,40 @@ class TestRunner:
         b = context.run("pr", "ndpext-static")
         assert a is b
 
+    def test_default_scale_shares_cache_with_explicit(self, context):
+        # scale=None and the context's own default scale must normalize
+        # to the same cache key — one simulation, not two.
+        a = context.run("pr", "ndpext-static")
+        b = context.run("pr", "ndpext-static", scale=context.scale)
+        assert a is b
+
+    def test_fault_schedule_extends_cache_key(self, context):
+        from repro.faults import FaultSchedule, UnitFailure
+
+        plain = context.run("pr", "ndpext-static")
+        empty = context.run("pr", "ndpext-static", faults=FaultSchedule())
+        assert plain is not empty  # distinct cells...
+        assert plain.runtime_cycles == empty.runtime_cycles  # ...same result
+        schedule = FaultSchedule((UnitFailure(epoch=1, unit=0),))
+        faulted = context.run("pr", "ndpext-static", faults=schedule)
+        assert faulted.runtime_cycles > plain.runtime_cycles
+        # Value-equal schedules hit the same cell.
+        again = context.run(
+            "pr", "ndpext-static", faults=FaultSchedule((UnitFailure(epoch=1, unit=0),))
+        )
+        assert faulted is again
+
+    def test_speedup_table_rejects_degenerate_runtime(self, context):
+        from repro.sim.metrics import SimulationReport
+
+        broken = ExperimentContext(preset="tiny")
+        key = ("pr", "ndpext", broken.config.name, "", broken.scale, None)
+        broken._reports[key] = SimulationReport(
+            policy="ndpext", workload="pr", runtime_cycles=0.0
+        )
+        with pytest.raises(ValueError, match="non-positive runtime"):
+            speedup_table(broken, ["pr"], ["ndpext"], baseline="ndpext")
+
     def test_speedup_table_shape(self, context):
         table = speedup_table(context, list(WORKLOADS), ["ndpext", "nexus"])
         assert set(table) == set(WORKLOADS)

@@ -1,0 +1,217 @@
+"""Tests for the fault schedule/state layer (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CxlCrcBurst,
+    CxlLaneDowntrain,
+    DramRowFault,
+    FaultSchedule,
+    FaultState,
+    UnitFailure,
+    random_schedule,
+)
+from repro.sim.cxl import ExtendedMemory
+from repro.sim.engine import RequestOutcome
+from repro.sim.params import tiny
+
+
+def outcome_of(serving_unit, local_row=None):
+    serving_unit = np.asarray(serving_unit, dtype=np.int64)
+    n = len(serving_unit)
+    if local_row is None:
+        local_row = np.where(serving_unit >= 0, 0, -1)
+    return RequestOutcome(
+        hit=serving_unit >= 0,
+        serving_unit=serving_unit,
+        local_row=np.asarray(local_row, dtype=np.int64),
+        miss_probe_dram=np.zeros(n, dtype=bool),
+        metadata_ns=np.zeros(n, dtype=np.float64),
+    )
+
+
+class TestScheduleValidation:
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            UnitFailure(epoch=-1, unit=0)
+
+    def test_negative_unit_rejected(self):
+        with pytest.raises(ValueError):
+            UnitFailure(epoch=0, unit=-1)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            CxlLaneDowntrain(epoch=1, lanes=0)
+
+    def test_bad_retry_prob_rejected(self):
+        with pytest.raises(ValueError):
+            CxlCrcBurst(epoch=1, retry_prob=1.5)
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ValueError):
+            DramRowFault(epoch=1, unit=0, row=-2)
+
+    def test_validate_for_rejects_unknown_unit(self):
+        schedule = FaultSchedule((UnitFailure(epoch=1, unit=9),))
+        with pytest.raises(ValueError):
+            schedule.validate_for(n_units=4, full_lanes=16)
+
+    def test_validate_for_rejects_widening_downtrain(self):
+        schedule = FaultSchedule((CxlLaneDowntrain(epoch=1, lanes=32),))
+        with pytest.raises(ValueError):
+            schedule.validate_for(n_units=4, full_lanes=16)
+
+    def test_schedule_is_hashable_and_value_equal(self):
+        a = FaultSchedule((UnitFailure(epoch=1, unit=0),), seed=7)
+        b = FaultSchedule((UnitFailure(epoch=1, unit=0),), seed=7)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert not a.empty
+        assert FaultSchedule().empty
+
+    def test_events_accepts_any_iterable(self):
+        schedule = FaultSchedule([UnitFailure(epoch=1, unit=0)])
+        assert isinstance(schedule.events, tuple)
+
+
+class TestRandomSchedule:
+    def test_deterministic(self):
+        a = random_schedule(3, n_units=4, n_epochs=8)
+        b = random_schedule(3, n_units=4, n_epochs=8)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = random_schedule(3, n_units=4, n_epochs=8)
+        b = random_schedule(4, n_units=4, n_epochs=8)
+        assert a != b
+
+    def test_valid_for_named_system(self):
+        schedule = random_schedule(1, n_units=4, n_epochs=8, full_lanes=16)
+        schedule.validate_for(n_units=4, full_lanes=16)  # must not raise
+
+    def test_events_in_middle_half(self):
+        schedule = random_schedule(5, n_units=4, n_epochs=16)
+        for event in schedule.events:
+            assert 1 <= event.epoch < 12
+
+
+class TestFaultState:
+    def test_unit_failure_delivered_once(self):
+        config = tiny()
+        state = FaultState(
+            FaultSchedule((UnitFailure(epoch=2, unit=1),)), config
+        )
+        assert state.advance(0).empty
+        assert not state.degraded
+        events = state.advance(2)
+        assert events.unit_failures == [1]
+        assert not state.alive[1]
+        assert state.degraded
+        assert state.report.units_lost == 1
+        # Replay of the same epoch index range never re-delivers.
+        assert state.advance(3).empty
+        assert state.report.units_lost == 1
+
+    def test_downtrain_narrows_lanes(self):
+        config = tiny()
+        state = FaultState(
+            FaultSchedule((CxlLaneDowntrain(epoch=1, lanes=4),)), config
+        )
+        state.advance(0)
+        assert state.effective_lanes == config.cxl.lanes
+        state.advance(1)
+        assert state.effective_lanes == 4
+        state.advance(2)
+        assert state.report.downtrained_epochs == 2
+        assert state.report.min_lanes == 4
+        # A link fault alone needs no request demotion.
+        assert not state.degraded
+
+    def test_row_fault_quarantine_and_acknowledge(self):
+        config = tiny()
+        state = FaultState(
+            FaultSchedule((DramRowFault(epoch=1, unit=2, row=5),)), config
+        )
+        events = state.advance(1)
+        assert events.row_faults == [(2, 5)]
+        assert state.degraded
+        out = outcome_of([2, 2, 0], local_row=[5, 3, 5])
+        assert state.demote(out) == 1  # only (unit 2, row 5)
+        assert not out.hit[0] and out.serving_unit[0] == -1
+        assert out.hit[1] and out.hit[2]
+        state.acknowledge_row(2, 5)
+        assert not state.degraded
+        out2 = outcome_of([2], local_row=[5])
+        assert state.demote(out2) == 0
+
+    def test_demote_dead_unit(self):
+        config = tiny()
+        state = FaultState(FaultSchedule((UnitFailure(epoch=0, unit=0),)), config)
+        state.advance(0)
+        out = outcome_of([0, 1, -1, 0])
+        assert state.demote(out) == 2
+        assert not out.hit[0] and not out.hit[3]
+        assert out.hit[1]
+        assert state.report.demoted_requests == 2
+
+    def test_row_fault_on_dead_unit_ignored(self):
+        config = tiny()
+        state = FaultState(
+            FaultSchedule(
+                (UnitFailure(epoch=1, unit=0), DramRowFault(epoch=2, unit=0, row=3))
+            ),
+            config,
+        )
+        state.advance(1)
+        events = state.advance(2)
+        assert events.row_faults == []
+        assert state.report.rows_quarantined == 0
+
+
+class TestCrcPenalties:
+    def make_state(self, seed=0, **burst_kwargs):
+        config = tiny()
+        burst = CxlCrcBurst(epoch=0, **burst_kwargs)
+        state = FaultState(FaultSchedule((burst,), seed=seed), config)
+        state.advance(0)
+        ext = ExtendedMemory(config.cxl, config.ext_dram)
+        return state, ext
+
+    def test_healthy_link_charges_nothing(self):
+        config = tiny()
+        state = FaultState(FaultSchedule(), config)
+        state.advance(0)
+        ext = ExtendedMemory(config.cxl, config.ext_dram)
+        assert state.cxl_penalty_ns(100, ext) is None
+
+    def test_draws_are_deterministic(self):
+        a_state, ext = self.make_state(seed=9, retry_prob=0.5)
+        b_state, _ = self.make_state(seed=9, retry_prob=0.5)
+        a = a_state.cxl_penalty_ns(200, ext)
+        b = b_state.cxl_penalty_ns(200, ext)
+        assert np.array_equal(a, b)
+
+    def test_sequence_position_decorrelates(self):
+        state, ext = self.make_state(seed=9, retry_prob=0.5)
+        first = state.cxl_penalty_ns(100, ext)
+        second = state.cxl_penalty_ns(100, ext)
+        assert not np.array_equal(first, second)
+
+    def test_backoff_is_exponential(self):
+        state, ext = self.make_state(retry_prob=1.0, max_retries=1, backoff_ns=10.0)
+        penalty = state.cxl_penalty_ns(50, ext)
+        # Every transfer retries exactly once (then exhausts): backoff of
+        # 10 ns plus a full re-issue over the link.
+        reissue = ext.cxl.link_ns + ext.serialization_ns()
+        assert np.allclose(penalty, 10.0 + reissue)
+        assert state.report.crc_reissues == 50
+        assert state.report.crc_retries == 50
+        assert state.report.crc_retry_ns == pytest.approx(float(penalty.sum()))
+
+    def test_penalty_scales_with_retry_count(self):
+        state, ext = self.make_state(retry_prob=1.0, max_retries=8, backoff_ns=1.0)
+        penalty = state.cxl_penalty_ns(500, ext)
+        # k retries wait 2**k - 1 backoff units (plus possible re-issue).
+        assert penalty.min() >= 1.0
+        assert state.report.crc_retries >= 500

@@ -1,5 +1,7 @@
 """Tests for the Table II parameter presets."""
 
+import dataclasses
+
 import pytest
 
 from repro.sim.params import (
@@ -8,6 +10,11 @@ from repro.sim.params import (
     HMC2,
     KB,
     MB,
+    CoreParams,
+    CxlParams,
+    DramTiming,
+    NocParams,
+    SramCacheParams,
     SystemConfig,
     paper_hbm,
     paper_hmc,
@@ -122,3 +129,65 @@ class TestScaledPresets:
     def test_invalid_geometry_rejected(self):
         with pytest.raises(ValueError):
             small().scaled(stacks_x=0)
+
+
+class TestParamValidation:
+    def test_dram_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HBM3, freq_mhz=0.0)
+
+    def test_dram_rejects_negative_timing(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HBM3, t_cas=-1)
+
+    def test_dram_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HBM3, row_bytes=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(HBM3, banks=0)
+
+    def test_dram_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HBM3, act_pre_nj=-0.1)
+
+    def test_cxl_rejects_zero_lanes(self):
+        with pytest.raises(ValueError):
+            CxlParams(lanes=0)
+        with pytest.raises(ValueError):
+            CxlParams(channels=0)
+
+    def test_cxl_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            CxlParams(link_ns=-1.0)
+
+    def test_noc_rejects_negative_hop(self):
+        with pytest.raises(ValueError):
+            NocParams(intra_hop_ns=-1.0)
+
+    def test_noc_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NocParams(inter_bw_gbps=0.0)
+        with pytest.raises(ValueError):
+            NocParams(link_bits=0)
+
+    def test_sram_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            SramCacheParams(size_bytes=0, ways=2)
+        with pytest.raises(ValueError):
+            SramCacheParams(size_bytes=1 * KB, ways=0)
+        # Fewer lines than ways: not even one full set.
+        with pytest.raises(ValueError):
+            SramCacheParams(size_bytes=128, ways=4, line_bytes=64)
+
+    def test_sram_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            SramCacheParams(size_bytes=1 * KB, ways=2, hit_ns=-0.5)
+
+    def test_core_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            CoreParams(freq_ghz=0.0)
+
+    def test_all_presets_pass_validation(self):
+        # Construction itself runs every __post_init__.
+        for preset in (paper_hbm, paper_hmc, small, tiny):
+            preset()
