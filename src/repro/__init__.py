@@ -15,8 +15,8 @@ Quickstart::
     print(report.speedup_over(baseline))
 """
 
-from repro import baselines, core, sim, util, workloads
+from repro import baselines, core, obs, sim, util, workloads
 
 __version__ = "1.0.0"
 
-__all__ = ["baselines", "core", "sim", "util", "workloads", "__version__"]
+__all__ = ["baselines", "core", "obs", "sim", "util", "workloads", "__version__"]

@@ -1,14 +1,28 @@
-"""Command-line interface: run simulations and regenerate paper figures.
+"""Command-line interface: run simulations, regenerate paper figures,
+and capture/inspect observability traces.
 
 Usage::
 
     python -m repro run --workload pr --policy ndpext [--preset small]
-    python -m repro compare --workload pr [--preset small]
+    python -m repro run --workload pr --policy ndpext --trace-out t.jsonl
+    python -m repro compare --workload pr [--trace-out prefix]
     python -m repro figure fig5 [--preset small]
     python -m repro suite [--preset small]
+    python -m repro report [--output results.md]
+    python -m repro trace --workload pr --policy ndpext --out trace.jsonl
+    python -m repro stats trace.jsonl [other.jsonl]
 
 ``figure`` accepts: fig2, fig4b, fig5, fig6, fig7, fig8a, fig8b,
 fig9a..fig9f, sec5d, faults.
+
+``trace`` runs one simulation with a live recorder and writes a
+schema-versioned JSONL event trace (epoch timeline, reconfiguration
+decisions with predicted-vs-realized per-stream hit rates, sampled miss
+curves, fault events, and a wall-clock self-profile of the simulator).
+``stats`` summarizes one such trace, or diffs two.  ``--trace-out`` on
+``run`` writes the same trace alongside the result table; on
+``compare`` it is a prefix and one ``<prefix>.<policy>.jsonl`` file is
+written per policy.
 """
 
 from __future__ import annotations
@@ -18,6 +32,8 @@ import sys
 
 from repro.experiments import faults, fig2, fig4b, fig5, fig6, fig7, fig8, fig9, sec5d
 from repro.experiments.runner import POLICIES, PRESETS, ExperimentContext
+from repro.obs import Recorder, diff_rows, read_trace, summarize, summary_rows
+from repro.sim.metrics import SimulationReport
 from repro.util import render_table
 from repro.workloads import SUITE
 
@@ -55,9 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one workload under one policy")
     run_p.add_argument("--workload", required=True, choices=sorted(SUITE))
     run_p.add_argument("--policy", required=True, choices=sorted(POLICIES))
+    run_p.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write a JSONL observability trace to this path",
+    )
 
     cmp_p = sub.add_parser("compare", help="all policies on one workload")
     cmp_p.add_argument("--workload", required=True, choices=sorted(SUITE))
+    cmp_p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write one <prefix>.<policy>.jsonl trace per policy",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
@@ -70,11 +96,38 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--output", default="results.md", help="report path (default: results.md)"
     )
+
+    trace_p = sub.add_parser(
+        "trace", help="run with full observability and write a JSONL trace"
+    )
+    trace_p.add_argument("--workload", required=True, choices=sorted(SUITE))
+    trace_p.add_argument("--policy", required=True, choices=sorted(POLICIES))
+    trace_p.add_argument(
+        "--out", default="trace.jsonl", help="trace path (default: trace.jsonl)"
+    )
+    trace_p.add_argument(
+        "--csv", default=None, help="also export the epoch timeline as CSV"
+    )
+
+    stats_p = sub.add_parser(
+        "stats", help="summarize one JSONL trace, or diff two"
+    )
+    stats_p.add_argument(
+        "trace", nargs="+", help="one trace to summarize, two to diff"
+    )
+    stats_p.add_argument(
+        "--csv", default=None, help="export the first trace's timeline as CSV"
+    )
     return parser
 
 
-def cmd_run(context: ExperimentContext, args) -> None:
-    report = context.run(args.workload, args.policy)
+def _new_recorder(context: ExperimentContext, workload: str, policy: str) -> Recorder:
+    return Recorder(workload=workload, policy=policy, preset=context.preset)
+
+
+def _print_run_table(
+    context: ExperimentContext, args, report: SimulationReport, policy: str
+) -> None:
     print(
         render_table(
             ["metric", "value"],
@@ -85,28 +138,60 @@ def cmd_run(context: ExperimentContext, args) -> None:
                 ["avg interconnect ns", f"{report.avg_interconnect_ns:.1f}"],
                 ["energy mJ", f"{report.energy.total_nj / 1e6:.3f}"],
             ],
-            title=f"{args.workload} under {args.policy} ({context.preset})",
+            title=f"{args.workload} under {policy} ({context.preset})",
         )
     )
 
 
+def cmd_run(context: ExperimentContext, args) -> None:
+    recorder = (
+        _new_recorder(context, args.workload, args.policy)
+        if args.trace_out
+        else None
+    )
+    report = context.run(args.workload, args.policy, recorder=recorder)
+    _print_run_table(context, args, report, args.policy)
+    if recorder is not None:
+        lines = recorder.write_jsonl(args.trace_out)
+        print(f"[trace] wrote {args.trace_out} ({lines} lines)")
+
+
 def cmd_compare(context: ExperimentContext, args) -> None:
-    rows = []
-    baseline = None
-    for name in ("static-nuca", "jigsaw", "whirlpool", "nexus", "ndpext-static", "ndpext"):
-        report = context.run(args.workload, name)
-        baseline = baseline or report.runtime_cycles
+    """Every registered policy on one workload, normalized to the host.
+
+    The host baseline runs first so the speedup column means the same
+    thing as the paper's figures (runtime(host) / runtime(policy)),
+    independent of registration order.
+    """
+    host = context.run_host(args.workload)
+    rows = [
+        [
+            "host",
+            f"{host.runtime_cycles:.0f}",
+            "1.00",
+            f"{host.hits.cache_hit_rate:.3f}",
+        ]
+    ]
+    for name in sorted(POLICIES):
+        recorder = (
+            _new_recorder(context, args.workload, name) if args.trace_out else None
+        )
+        report = context.run(args.workload, name, recorder=recorder)
+        if recorder is not None:
+            path = f"{args.trace_out}.{name}.jsonl"
+            recorder.write_jsonl(path)
+            print(f"[trace] wrote {path}")
         rows.append(
             [
                 name,
                 f"{report.runtime_cycles:.0f}",
-                f"{baseline / report.runtime_cycles:.2f}",
+                f"{host.runtime_cycles / report.runtime_cycles:.2f}",
                 f"{report.hits.cache_hit_rate:.3f}",
             ]
         )
     print(
         render_table(
-            ["policy", "cycles", "speedup", "hit rate"],
+            ["policy", "cycles", "speedup vs host", "hit rate"],
             rows,
             title=f"{args.workload} across policies ({context.preset})",
         )
@@ -136,8 +221,91 @@ def cmd_report(context: ExperimentContext, args) -> None:
     print(f"[report] wrote {args.output}")
 
 
+def cmd_trace(context: ExperimentContext, args) -> None:
+    recorder = _new_recorder(context, args.workload, args.policy)
+    report = context.run(args.workload, args.policy, recorder=recorder)
+    lines = recorder.write_jsonl(args.out)
+    if args.csv and report.timeline is not None:
+        report.timeline.to_csv(args.csv)
+        print(f"[trace] wrote {args.csv}")
+    timeline = report.timeline
+    rows = [
+        ["epochs", str(len(timeline) if timeline else 0)],
+        ["events", str(len(recorder.events))],
+        ["trace lines", str(lines)],
+        ["runtime cycles", f"{report.runtime_cycles:.0f}"],
+        ["cache hit rate", f"{report.hits.cache_hit_rate:.3f}"],
+        ["reconfig events", str(len(recorder.events_of('reconfig')))],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"trace of {args.workload} under {args.policy} -> {args.out}",
+        )
+    )
+    profile = recorder.profiler.summary()[:8]
+    if profile:
+        print(
+            render_table(
+                ["span", "calls", "total s", "mean us"],
+                [
+                    [
+                        row["label"],
+                        str(row["calls"]),
+                        f"{row['total_s']:.3f}",
+                        f"{row['mean_us']:.1f}",
+                    ]
+                    for row in profile
+                ],
+                title="simulator self-profile (slowest spans)",
+            )
+        )
+
+
+def cmd_stats(args) -> None:
+    traces = [read_trace(path) for path in args.trace]
+    if len(traces) == 1:
+        trace = traces[0]
+        print(
+            render_table(
+                ["metric", "value"],
+                summary_rows(summarize(trace)),
+                title=f"summary of {trace.path}",
+            )
+        )
+        if trace.profile:
+            print(
+                render_table(
+                    ["span", "calls", "total s"],
+                    [
+                        [row["label"], str(row["calls"]), f"{row['total_s']:.3f}"]
+                        for row in trace.profile[:8]
+                    ],
+                    title="simulator self-profile",
+                )
+            )
+    elif len(traces) == 2:
+        a, b = traces
+        print(
+            render_table(
+                ["metric", a.path, b.path, "delta"],
+                diff_rows(summarize(a), summarize(b)),
+                title="trace diff",
+            )
+        )
+    else:
+        raise SystemExit("stats takes one trace (summary) or two (diff)")
+    if args.csv:
+        traces[0].timeline.to_csv(args.csv)
+        print(f"[stats] wrote {args.csv}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        cmd_stats(args)
+        return 0
     context = ExperimentContext(preset=args.preset)
     if args.command == "run":
         cmd_run(context, args)
@@ -149,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         fig5.run(context)
     elif args.command == "report":
         cmd_report(context, args)
+    elif args.command == "trace":
+        cmd_trace(context, args)
     return 0
 
 

@@ -72,6 +72,23 @@ class ConfigResult:
                 return alloc
         raise KeyError(f"no allocation for stream {sid}")
 
+    def summary(self) -> dict:
+        """JSON-able description of the chosen configuration, used by the
+        observability layer to trace each reconfiguration decision."""
+        return {
+            "iterations": self.iterations,
+            "exhausted": sorted(int(s) for s in self.exhausted),
+            "streams": [
+                {
+                    "sid": int(alloc.sid),
+                    "rows": int(alloc.total_rows),
+                    "n_groups": int(alloc.n_groups),
+                    "units": [int(u) for u in np.flatnonzero(alloc.shares > 0)],
+                }
+                for alloc in self.allocations
+            ],
+        }
+
 
 class CacheConfigurator:
     """Runs Algorithm 1 for one reconfiguration."""

@@ -110,6 +110,10 @@ class NdpExtPolicy(DramCachePolicy):
             s.sid: s for s in workload.streams
         }
         self._curves: dict[int, MissCurve] = {}
+        # sid -> hit rate the miss-curve model promised for the currently
+        # installed configuration; compared against realized rates at the
+        # end of each epoch when a recorder is attached.
+        self._predicted_hit_rate: dict[int, float] = {}
         self._acc_units: dict[int, list[int]] = {}
         self._acc_counts: dict[int, dict[int, int]] = {}
         self._epoch_access_totals: dict[int, int] = {}
@@ -173,21 +177,70 @@ class NdpExtPolicy(DramCachePolicy):
         for sid, total in self._epoch_access_totals.items():
             if sid not in curves and total > 0:
                 curves[sid] = self._fallback_curve(sid, total)
-        result = self.configurator.configure(
-            streams=self._streams,
-            curves=curves,
-            acc_units=self._acc_units,
-            acc_counts=self._acc_counts,
-            unit_capacity=self.mapper.table.capacity,
-            write_excepted=self.mapper.write_excepted,
-        )
+        with self.recorder.span("configure.solve"):
+            result = self.configurator.configure(
+                streams=self._streams,
+                curves=curves,
+                acc_units=self._acc_units,
+                acc_counts=self._acc_counts,
+                unit_capacity=self.mapper.table.capacity,
+                write_excepted=self.mapper.write_excepted,
+            )
         old_cost = self._predicted_cost(curves, self._current_allocations())
         new_cost = self._predicted_cost(curves, result.allocations)
-        if old_cost > 0 and new_cost > old_cost * (
+        skipped = old_cost > 0 and new_cost > old_cost * (
             1.0 - self.RECONFIG_GAIN_THRESHOLD
-        ):
-            return ReconfigStats()
-        return self.mapper.apply(result.allocations)
+        )
+        if skipped:
+            chosen = self._current_allocations()
+            stats = ReconfigStats()
+        else:
+            chosen = result.allocations
+            stats = self.mapper.apply(result.allocations)
+        if self.recorder.enabled:
+            self._predicted_hit_rate = self._predict_hit_rates(curves, chosen)
+            alloc_by_sid = {alloc.sid: alloc for alloc in chosen}
+            self.recorder.event(
+                "reconfig",
+                epoch=epoch_idx,
+                applied=not skipped,
+                predicted_cost_old=old_cost,
+                predicted_cost_new=new_cost,
+                movements=stats.movements,
+                invalidations=stats.invalidations,
+                config=result.summary(),
+                streams=[
+                    {
+                        "sid": int(sid),
+                        "predicted_hit_rate": rate,
+                        "rows": int(alloc_by_sid[sid].total_rows),
+                        "n_groups": int(alloc_by_sid[sid].n_groups),
+                    }
+                    for sid, rate in sorted(self._predicted_hit_rate.items())
+                    if sid in alloc_by_sid
+                ],
+            )
+        return stats
+
+    def _predict_hit_rates(
+        self, curves: dict[int, MissCurve], allocations
+    ) -> dict[int, float]:
+        """Per-stream hit rate the miss-curve model promises for
+        ``allocations``, on the post-L1 request stream."""
+        row_bytes = self.config.ndp_dram.row_bytes
+        rates: dict[int, float] = {}
+        for alloc in allocations:
+            curve = curves.get(alloc.sid)
+            accesses = self._epoch_access_totals.get(alloc.sid, 0)
+            if curve is None or accesses <= 0:
+                continue
+            copies = max(1, alloc.n_groups)
+            per_copy = alloc.total_rows * row_bytes / copies
+            misses = curve.monotone().misses_at(per_copy)
+            rates[alloc.sid] = float(
+                np.clip(1.0 - misses / accesses, 0.0, 1.0)
+            )
+        return rates
 
     def _current_allocations(self) -> list:
         return [
@@ -285,15 +338,38 @@ class NdpExtPolicy(DramCachePolicy):
     def end_epoch(
         self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome
     ) -> None:
+        if self.recorder.enabled and self._predicted_hit_rate:
+            self._record_hit_accuracy(epoch_idx, epoch, outcome)
         if self.mode == "static":
             return
         if self.mode == "partial" and epoch_idx >= self.partial_epochs:
             return
-        self._profile(epoch)
+        self._profile(epoch, epoch_idx)
+
+    def _record_hit_accuracy(
+        self, epoch_idx: int, epoch: Trace, outcome: RequestOutcome
+    ) -> None:
+        """Emit predicted-vs-realized hit rate per stream for this epoch."""
+        streams = []
+        for sid, predicted in sorted(self._predicted_hit_rate.items()):
+            mask = epoch.sid == sid
+            accesses = int(mask.sum())
+            if accesses == 0:
+                continue
+            streams.append(
+                {
+                    "sid": int(sid),
+                    "predicted": predicted,
+                    "realized": float(outcome.hit[mask].mean()),
+                    "accesses": accesses,
+                }
+            )
+        if streams:
+            self.recorder.event("hit_accuracy", epoch=epoch_idx, streams=streams)
 
     # ------------------------------------------------------------------
 
-    def _profile(self, epoch: Trace) -> None:
+    def _profile(self, epoch: Trace, epoch_idx: int = -1) -> None:
         """One epoch's hardware profiling: bitvectors + sampled curves."""
         n_units = self.config.n_units
         max_sid = max(self._streams) if self._streams else 0
@@ -343,3 +419,12 @@ class NdpExtPolicy(DramCachePolicy):
                     fresh.capacities, 0.5 * previous.misses + 0.5 * fresh.misses
                 )
             self._curves[sid] = fresh
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "miss_curve",
+                    epoch=epoch_idx,
+                    sid=int(sid),
+                    accesses=int(self._epoch_access_totals.get(sid, 0)),
+                    capacities=[float(c) for c in fresh.capacities],
+                    misses=[float(m) for m in fresh.misses],
+                )

@@ -24,6 +24,7 @@ from repro.baselines import (
 )
 from repro.core import NdpExtPolicy
 from repro.faults import FaultSchedule
+from repro.obs import NullRecorder
 from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
 from repro.sim.params import medium, paper_hbm, paper_hmc
 from repro.util import geomean
@@ -76,11 +77,18 @@ class ExperimentContext:
     def scale(self) -> WorkloadScale:
         return SCALES.get(self.preset, SMALL)
 
-    def workload(self, name: str, scale: WorkloadScale | None = None) -> Workload:
+    def workload(
+        self,
+        name: str,
+        scale: WorkloadScale | None = None,
+        recorder: NullRecorder | None = None,
+    ) -> Workload:
         scale = scale or self.scale
         key = (name, scale)
         if key not in self._workloads:
-            self._workloads[key] = build(name, scale)
+            span = (recorder or NullRecorder()).span("workload.build")
+            with span:
+                self._workloads[key] = build(name, scale)
         return self._workloads[key]
 
     def run(
@@ -92,23 +100,37 @@ class ExperimentContext:
         scale: WorkloadScale | None = None,
         cache_key: str = "",
         faults: FaultSchedule | None = None,
+        recorder: NullRecorder | None = None,
     ) -> SimulationReport:
-        """Run (or fetch) one simulation cell."""
+        """Run (or fetch) one simulation cell.
+
+        A live ``recorder`` bypasses the result cache entirely: the
+        caller wants this run's event trace, which a cached report does
+        not carry (and the recorded run must not poison the cache for
+        trace-free callers either).
+        """
         config = config or self.config
+        recording = recorder is not None and recorder.enabled
         # Normalize before keying so ``scale=None`` and an explicit
         # default scale land on the same cache entry.
         scale = scale or self.scale
         key = (workload_name, policy_name, config.name, cache_key, scale, faults)
-        if key in self._reports:
+        if not recording and key in self._reports:
             return self._reports[key]
-        workload = self.workload(workload_name, scale)
+        workload = self.workload(workload_name, scale, recorder=recorder)
         factory = policy_factory or POLICIES[policy_name]
-        engine = SimulationEngine(config, faults=faults)
+        engine = SimulationEngine(config, faults=faults, recorder=recorder)
         report = engine.run(workload, factory())
-        self._reports[key] = report
+        if not recording:
+            self._reports[key] = report
         return report
 
-    def run_host(self, workload_name: str, scale: WorkloadScale | None = None) -> SimulationReport:
+    def run_host(
+        self,
+        workload_name: str,
+        scale: WorkloadScale | None = None,
+        recorder: NullRecorder | None = None,
+    ) -> SimulationReport:
         """The non-NDP host baseline for the same workload."""
         return self.run(
             workload_name,
@@ -116,6 +138,7 @@ class ExperimentContext:
             config=host_config(self.config),
             policy_factory=HostJigsawPolicy,
             scale=scale,
+            recorder=recorder,
         )
 
 

@@ -29,6 +29,7 @@ from repro.faults.schedule import (
     FaultSchedule,
     UnitFailure,
 )
+from repro.obs.recorder import NullRecorder
 from repro.sim.cxl import ExtendedMemory
 from repro.sim.metrics import FaultReport
 from repro.sim.params import CACHELINE_BYTES, SystemConfig
@@ -53,9 +54,15 @@ class EpochFaults:
 class FaultState:
     """Replays one fault schedule against one simulation run."""
 
-    def __init__(self, schedule: FaultSchedule, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        config: SystemConfig,
+        recorder: NullRecorder | None = None,
+    ) -> None:
         schedule.validate_for(config.n_units, config.cxl.lanes)
         self.schedule = schedule
+        self.recorder = recorder if recorder is not None else NullRecorder()
         self.n_units = config.n_units
         self.full_lanes = config.cxl.lanes
         self.alive = np.ones(config.n_units, dtype=bool)
@@ -63,6 +70,7 @@ class FaultState:
         self.active_crc: CxlCrcBurst | None = None
         self.report = FaultReport(min_lanes=config.cxl.lanes)
         self._crc_seq = 0
+        self._epoch = -1
         # (unit, row) -> acknowledged: a policy that remapped around the
         # bad row acknowledges it, ending the engine-side demotion (the
         # row is no longer reachable through the remap table).
@@ -91,18 +99,41 @@ class FaultState:
                     self.alive[event.unit] = False
                     self.report.units_lost += 1
                     events.unit_failures.append(event.unit)
+                    self.recorder.event(
+                        "fault_unit", epoch=epoch_idx, unit=int(event.unit)
+                    )
             elif isinstance(event, CxlLaneDowntrain):
                 self.effective_lanes = event.lanes
                 self.report.min_lanes = min(self.report.min_lanes, event.lanes)
+                self.recorder.event(
+                    "fault_lanes",
+                    epoch=epoch_idx,
+                    lanes=int(event.lanes),
+                    full_lanes=int(self.full_lanes),
+                )
             elif isinstance(event, DramRowFault):
                 key = (event.unit, event.row)
                 if key not in self._quarantined and self.alive[event.unit]:
                     self._quarantined[key] = False
                     self.report.rows_quarantined += 1
                     events.row_faults.append(key)
+                    self.recorder.event(
+                        "fault_row",
+                        epoch=epoch_idx,
+                        unit=int(event.unit),
+                        row=int(event.row),
+                    )
         self.active_crc = next(
             (b for b in self._crc_bursts if b.active_at(epoch_idx)), None
         )
+        if self.active_crc is not None and self.recorder.enabled:
+            self.recorder.event(
+                "crc_burst",
+                epoch=epoch_idx,
+                retry_prob=self.active_crc.retry_prob,
+                max_retries=self.active_crc.max_retries,
+            )
+        self._epoch = epoch_idx
         if self.effective_lanes < self.full_lanes:
             self.report.downtrained_epochs += 1
         self._unacked = [k for k, ack in self._quarantined.items() if not ack]
@@ -130,6 +161,7 @@ class FaultState:
             outcome.serving_unit[bad] = -1
             outcome.miss_probe_dram[bad] = False
             self.report.demoted_requests += demoted
+            self.recorder.event("demote", epoch=self._epoch, requests=demoted)
         return demoted
 
     def cxl_penalty_ns(

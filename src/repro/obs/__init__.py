@@ -1,0 +1,40 @@
+"""Observability: event recording, epoch timelines, self-profiling.
+
+Three layers (DESIGN.md "Observability"):
+
+* :class:`Recorder` / :class:`NullRecorder` — structured counters,
+  gauges, events, and wall-clock spans; the null default costs nothing.
+* :class:`Timeline` / :class:`EpochRecord` — per-epoch breakdowns of
+  every aggregate in :class:`~repro.sim.metrics.SimulationReport`.
+* :class:`SelfProfiler` — perf_counter spans over the simulator's own
+  hot paths (trace generation, L1 filter, policy, DRAM, reconfigure).
+
+``read_trace`` / ``summarize`` / ``diff_rows`` are the read side used
+by ``python -m repro stats``.
+"""
+
+from repro.obs.profiler import SelfProfiler, SpanStats
+from repro.obs.recorder import SCHEMA_VERSION, NullRecorder, Recorder
+from repro.obs.timeline import EpochRecord, Timeline
+from repro.obs.traceio import (
+    TraceFile,
+    diff_rows,
+    read_trace,
+    summarize,
+    summary_rows,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EpochRecord",
+    "NullRecorder",
+    "Recorder",
+    "SelfProfiler",
+    "SpanStats",
+    "Timeline",
+    "TraceFile",
+    "diff_rows",
+    "read_trace",
+    "summarize",
+    "summary_rows",
+]

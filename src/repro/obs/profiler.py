@@ -1,0 +1,84 @@
+"""Wall-clock self-profiling: where does *simulator* time go?
+
+The simulator models nanoseconds, but its own runtime is spent in very
+different places — trace generation, L1 filtering, ``policy.process``,
+DRAM timing, the reconfiguration solve.  :class:`SelfProfiler`
+accumulates ``time.perf_counter`` spans per label so a run can report
+its own hot paths; ROADMAP perf work starts from this table.
+
+Spans nest: a label's total includes time spent in spans opened inside
+it, so the table is read as an inclusive-time profile (the labels are
+chosen to be non-overlapping siblings in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+
+@dataclass
+class SpanStats:
+    """Accumulated wall-clock time for one span label."""
+
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class _Span:
+    """One open span; created by :meth:`SelfProfiler.span`."""
+
+    __slots__ = ("_stats", "_t0")
+
+    def __init__(self, stats: SpanStats) -> None:
+        self._stats = stats
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stats.calls += 1
+        self._stats.total_s += perf_counter() - self._t0
+
+
+@dataclass
+class SelfProfiler:
+    """Accumulates perf_counter spans keyed by label."""
+
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+
+    def span(self, label: str) -> _Span:
+        stats = self.spans.get(label)
+        if stats is None:
+            stats = self.spans[label] = SpanStats()
+        return _Span(stats)
+
+    def add(self, label: str, seconds: float, calls: int = 1) -> None:
+        """Fold an externally measured duration into the profile."""
+        stats = self.spans.setdefault(label, SpanStats())
+        stats.calls += calls
+        stats.total_s += seconds
+
+    @property
+    def total_s(self) -> float:
+        return sum(s.total_s for s in self.spans.values())
+
+    def summary(self) -> list[dict]:
+        """JSON-able rows, slowest label first."""
+        return [
+            {
+                "label": label,
+                "calls": stats.calls,
+                "total_s": stats.total_s,
+                "mean_us": stats.mean_s * 1e6,
+            }
+            for label, stats in sorted(
+                self.spans.items(), key=lambda kv: -kv[1].total_s
+            )
+        ]

@@ -1,0 +1,128 @@
+"""Structured event recording for simulation runs.
+
+A :class:`Recorder` collects three kinds of observations:
+
+* **events** — schema-versioned dicts (one JSONL line each): per-epoch
+  timeline rows, reconfiguration decisions, sampled miss curves, fault
+  injections, demotions.
+* **counters / gauges** — cheap named scalars folded into the trace
+  footer (counters accumulate, gauges keep the last value).
+* **spans** — wall-clock self-profiling via :class:`SelfProfiler`.
+
+The default everywhere is :class:`NullRecorder`, whose methods are
+no-ops and whose ``enabled`` flag lets hot paths skip building payloads
+entirely — with it installed, a simulation's outputs are bit-identical
+to a build without any observability calls.
+
+Trace layout (``write_jsonl``): a ``header`` line first (schema
+version, run metadata), then every event in emission order, then one
+``counters`` line, one ``profile`` line per span label, and a final
+``footer`` line with the event count (truncation check).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.obs.profiler import SelfProfiler
+
+SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Zero-overhead default: every hook is a no-op.
+
+    Hot paths guard payload construction on ``enabled``, so a run with
+    the null recorder does no extra allocation, hashing, or arithmetic
+    — its :class:`~repro.sim.metrics.SimulationReport` is bit-identical
+    to one produced before the observability layer existed.
+    """
+
+    enabled = False
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def counter(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, label: str) -> _NullSpan:
+        return _NULL_SPAN
+
+
+class Recorder(NullRecorder):
+    """Collects events, counters, gauges, and profiling spans."""
+
+    enabled = True
+
+    def __init__(self, **meta) -> None:
+        self.meta = dict(meta)
+        self.events: list[dict] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.profiler = SelfProfiler()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        record = {"seq": self._seq, "kind": kind}
+        record.update(fields)
+        self._seq += 1
+        self.events.append(record)
+
+    def counter(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def span(self, label: str):
+        return self.profiler.span(label)
+
+    def events_of(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    # ------------------------------------------------------------------
+
+    def lines(self) -> Iterator[dict]:
+        """The trace as an ordered sequence of JSON-able dicts."""
+        header = {"kind": "header", "schema": SCHEMA_VERSION}
+        header.update(self.meta)
+        yield header
+        yield from self.events
+        if self.counters:
+            yield {"kind": "counters", "values": dict(self.counters)}
+        if self.gauges:
+            yield {"kind": "gauges", "values": dict(self.gauges)}
+        for row in self.profiler.summary():
+            yield {"kind": "profile", **row}
+        yield {"kind": "footer", "events": len(self.events)}
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the trace; returns the number of lines written."""
+        n = 0
+        with open(path, "w") as f:
+            for line in self.lines():
+                f.write(json.dumps(line, sort_keys=False) + "\n")
+                n += 1
+        return n

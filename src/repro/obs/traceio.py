@@ -1,0 +1,142 @@
+"""Reading and summarizing JSONL event traces.
+
+A trace file is what :meth:`repro.obs.recorder.Recorder.write_jsonl`
+produced: a ``header`` line, events in emission order, then
+``counters``/``profile`` lines and a ``footer``.  This module is the
+read side used by ``python -m repro stats``: parse, validate the
+schema, rebuild the epoch timeline, and render summary/diff tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.recorder import SCHEMA_VERSION
+from repro.obs.timeline import Timeline
+
+
+@dataclass
+class TraceFile:
+    """One parsed JSONL trace."""
+
+    path: str
+    header: dict = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    profile: list[dict] = field(default_factory=list)
+    footer: dict = field(default_factory=dict)
+
+    @property
+    def timeline(self) -> Timeline:
+        return Timeline.from_events(self.events)
+
+    def events_of(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+
+def read_trace(path: str) -> TraceFile:
+    """Parse one trace; raises ValueError on schema problems."""
+    trace = TraceFile(path=path)
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            kind = record.get("kind")
+            if kind == "header":
+                trace.header = record
+            elif kind == "counters":
+                trace.counters = record.get("values", {})
+            elif kind == "gauges":
+                trace.gauges = record.get("values", {})
+            elif kind == "profile":
+                trace.profile.append(record)
+            elif kind == "footer":
+                trace.footer = record
+            else:
+                trace.events.append(record)
+    if not trace.header:
+        raise ValueError(f"{path}: missing header line")
+    schema = trace.header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {schema!r} unsupported (expected {SCHEMA_VERSION})"
+        )
+    if trace.footer and trace.footer.get("events") != len(trace.events):
+        raise ValueError(
+            f"{path}: footer says {trace.footer.get('events')} events, "
+            f"found {len(trace.events)} (truncated trace?)"
+        )
+    return trace
+
+
+def summarize(trace: TraceFile) -> dict:
+    """Aggregate view of one trace for the ``stats`` verb."""
+    timeline = trace.timeline
+    hits = timeline.aggregate_hits()
+    breakdown = timeline.aggregate_breakdown()
+    energy = timeline.aggregate_energy()
+    reconfigs = trace.events_of("reconfig")
+    applied = [e for e in reconfigs if e.get("applied")]
+    faults = (
+        trace.events_of("fault_unit")
+        + trace.events_of("fault_row")
+        + trace.events_of("fault_lanes")
+    )
+    accuracy = trace.events_of("hit_accuracy")
+    pred_err = [
+        abs(s["predicted"] - s["realized"])
+        for e in accuracy
+        for s in e.get("streams", [])
+        if s.get("predicted") is not None
+    ]
+    last = timeline.records[-1] if len(timeline) else None
+    return {
+        "workload": trace.header.get("workload", "?"),
+        "policy": trace.header.get("policy", "?"),
+        "preset": trace.header.get("preset", "?"),
+        "epochs": len(timeline),
+        "runtime_cycles": last.cycles_total if last else 0.0,
+        "requests": hits.total_requests,
+        "cache_hit_rate": hits.cache_hit_rate,
+        "latency_ns": breakdown.total_ns,
+        "extended_ns": breakdown.extended_ns,
+        "energy_nj": energy.total_nj,
+        "reconfig_events": len(reconfigs),
+        "reconfig_applied": len(applied),
+        "fault_events": len(faults),
+        "mean_hit_prediction_error": (
+            sum(pred_err) / len(pred_err) if pred_err else 0.0
+        ),
+        "profile_s": sum(row.get("total_s", 0.0) for row in trace.profile),
+    }
+
+
+def summary_rows(summary: dict) -> list[list[str]]:
+    """Render a summary dict as table rows."""
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    return [[key, fmt(value)] for key, value in summary.items()]
+
+
+def diff_rows(a: dict, b: dict) -> list[list[str]]:
+    """Side-by-side diff of two summaries with a relative-change column."""
+    rows = []
+    for key in a:
+        va, vb = a[key], b.get(key)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            delta = f"{(vb - va) / va:+.2%}" if va else "n/a"
+            rows.append([key, f"{va:.4g}", f"{vb:.4g}", delta])
+        else:
+            rows.append([key, str(va), str(vb), "" if va == vb else "differs"])
+    return rows

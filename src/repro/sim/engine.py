@@ -21,11 +21,13 @@ the slowest core does.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.faults import EpochFaults, FaultSchedule, FaultState
+from repro.obs.recorder import NullRecorder
+from repro.obs.timeline import EpochRecord, Timeline
 from repro.sim.cachesim import _prev_in_group
 from repro.sim.cxl import ExtendedMemory
 from repro.sim.dram import DramModel
@@ -110,6 +112,15 @@ class DramCachePolicy(ABC):
 
     name: str = "abstract"
 
+    # Observability hook: the engine rebinds this before ``setup`` so a
+    # policy can emit decision events and profiling spans.  The shared
+    # null default keeps standalone policy use (tests, notebooks) free.
+    recorder: NullRecorder = NullRecorder()
+
+    def bind_recorder(self, recorder: NullRecorder) -> None:
+        """Attach the run's recorder (called by the engine)."""
+        self.recorder = recorder
+
     @abstractmethod
     def setup(
         self, config: SystemConfig, topology: Topology, workload: Workload
@@ -157,9 +168,11 @@ class SimulationEngine:
         config: SystemConfig,
         options: EngineOptions | None = None,
         faults: FaultSchedule | None = None,
+        recorder: NullRecorder | None = None,
     ) -> None:
         self.config = config
         self.options = options or EngineOptions()
+        self.recorder = recorder if recorder is not None else NullRecorder()
         self.fault_schedule = faults
         self.fault_state: FaultState | None = None
         self.topology = Topology(config)
@@ -170,7 +183,10 @@ class SimulationEngine:
         self._inter_stack_bytes = 0
 
     def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
-        policy.setup(self.config, self.topology, workload)
+        recorder = self.recorder
+        policy.bind_recorder(recorder)
+        with recorder.span("policy.setup"):
+            policy.setup(self.config, self.topology, workload)
         # Per-sid affine flag for the prefetch-overlap (MLP) model.
         max_sid = max((s.sid for s in workload.streams), default=-1)
         self._sid_affine = np.zeros(max_sid + 2, dtype=bool)
@@ -190,7 +206,7 @@ class SimulationEngine:
         self._ext_lane_accesses = {}
         self._inter_stack_bytes = 0
         self.fault_state = (
-            FaultState(self.fault_schedule, self.config)
+            FaultState(self.fault_schedule, self.config, recorder=recorder)
             if self.fault_schedule is not None
             else None
         )
@@ -201,24 +217,48 @@ class SimulationEngine:
         movements = 0
         invalidations = 0
         per_epoch_cycles: list[float] = []
+        timeline = Timeline() if recorder.enabled else None
 
         for epoch_idx, epoch in enumerate(epochs):
+            events = None
+            epoch_movements = 0
+            epoch_invalidations = 0
+            if recorder.enabled:
+                # Snapshot the accumulators so this epoch's deltas can be
+                # attributed to one timeline record.
+                prev_hits = replace(hits)
+                prev_breakdown = replace(breakdown)
+                prev_energy = replace(energy)
+                prev_ext = self._ext_accesses
+                prev_inter = self._inter_stack_bytes
+                prev_demoted = (
+                    self.fault_state.report.demoted_requests
+                    if self.fault_state is not None
+                    else 0
+                )
             if self.fault_state is not None:
                 events = self.fault_state.advance(epoch_idx)
                 self.extended.effective_lanes = self.fault_state.effective_lanes
                 if not events.empty:
-                    fstats = policy.on_faults(epoch_idx, events, self.fault_state)
-                    movements += fstats.movements
-                    invalidations += fstats.invalidations
+                    with recorder.span("policy.on_faults"):
+                        fstats = policy.on_faults(
+                            epoch_idx, events, self.fault_state
+                        )
+                    epoch_movements += fstats.movements
+                    epoch_invalidations += fstats.invalidations
                     self.fault_state.report.fault_movements += fstats.movements
                     self.fault_state.report.fault_invalidations += (
                         fstats.invalidations
                     )
-            stats = policy.begin_epoch(epoch_idx)
-            movements += stats.movements
-            invalidations += stats.invalidations
+            with recorder.span("policy.begin_epoch"):
+                stats = policy.begin_epoch(epoch_idx)
+            epoch_movements += stats.movements
+            epoch_invalidations += stats.invalidations
+            movements += epoch_movements
+            invalidations += epoch_invalidations
 
-            post_l1, l1_result = self._l1_filter(epoch)
+            with recorder.span("engine.l1_filter"):
+                post_l1, l1_result = self._l1_filter(epoch)
             hits.l1_hits += l1_result["hits"]
             l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
             breakdown.sram_ns += l1_ns
@@ -232,12 +272,14 @@ class SimulationEngine:
             )
 
             if len(post_l1):
-                outcome = policy.process(post_l1)
+                with recorder.span("policy.process"):
+                    outcome = policy.process(post_l1)
                 if self.fault_state is not None and self.fault_state.degraded:
                     self.fault_state.demote(outcome)
-                epoch_stall, ext_mask = self._charge(
-                    post_l1, outcome, breakdown, energy, hits
-                )
+                with recorder.span("engine.charge"):
+                    epoch_stall, ext_mask = self._charge(
+                        post_l1, outcome, breakdown, energy, hits
+                    )
                 queue_ns = self._queueing_delay(
                     post_l1, epoch_stall, ext_mask, workload
                 )
@@ -256,12 +298,43 @@ class SimulationEngine:
                 outcome = None
 
             if outcome is not None:
-                policy.end_epoch(epoch_idx, post_l1, outcome)
+                with recorder.span("policy.end_epoch"):
+                    policy.end_epoch(epoch_idx, post_l1, outcome)
             per_epoch_cycles.append(self._runtime_cycles(core_stall_ns, core_accesses, workload))
+
+            if recorder.enabled:
+                record = EpochRecord(
+                    epoch=epoch_idx,
+                    requests=len(epoch),
+                    post_l1_requests=len(post_l1),
+                    hits=hits - prev_hits,
+                    breakdown=breakdown - prev_breakdown,
+                    energy=energy - prev_energy,
+                    ext_accesses=self._ext_accesses - prev_ext,
+                    ext_bytes=(self._ext_accesses - prev_ext) * CACHELINE_BYTES,
+                    inter_stack_bytes=self._inter_stack_bytes - prev_inter,
+                    effective_lanes=self.extended.effective_lanes,
+                    reconfig_movements=epoch_movements,
+                    reconfig_invalidations=epoch_invalidations,
+                    fault_units=len(events.unit_failures) if events else 0,
+                    fault_rows=len(events.row_faults) if events else 0,
+                    demoted_requests=(
+                        self.fault_state.report.demoted_requests - prev_demoted
+                        if self.fault_state is not None
+                        else 0
+                    ),
+                    cycles_total=per_epoch_cycles[-1],
+                )
+                timeline.append(record)
+                recorder.event("epoch", **record.to_json())
 
         runtime_cycles = self._runtime_cycles(core_stall_ns, core_accesses, workload)
         runtime_ns = runtime_cycles * self.config.core.cycle_ns
         energy.static_nj += STATIC_W_PER_UNIT * self.config.n_units * runtime_ns
+        if recorder.enabled:
+            recorder.gauge("engine.runtime_cycles", runtime_cycles)
+            recorder.gauge("engine.static_nj", energy.static_nj)
+            recorder.counter("engine.epochs", len(per_epoch_cycles))
 
         return SimulationReport(
             policy=policy.name,
@@ -274,6 +347,7 @@ class SimulationEngine:
             reconfig_invalidations=invalidations,
             per_epoch_cycles=per_epoch_cycles,
             faults=self.fault_state.report if self.fault_state else None,
+            timeline=timeline,
         )
 
     def _runtime_cycles(

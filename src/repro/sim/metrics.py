@@ -10,6 +10,10 @@ every experiment can print the paper's rows directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.timeline import Timeline
 
 
 @dataclass
@@ -27,6 +31,14 @@ class LatencyBreakdown:
         return LatencyBreakdown(
             **{
                 f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        return LatencyBreakdown(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
                 for f in fields(self)
             }
         )
@@ -65,6 +77,14 @@ class EnergyBreakdown:
             }
         )
 
+    def __sub__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
     @property
     def total_nj(self) -> float:
         return sum(getattr(self, f.name) for f in fields(self))
@@ -83,6 +103,14 @@ class HitStats:
         return HitStats(
             **{
                 f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "HitStats") -> "HitStats":
+        return HitStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
                 for f in fields(self)
             }
         )
@@ -142,7 +170,10 @@ class FaultReport:
                 if f.name != "min_lanes"
             }
         )
-        merged.min_lanes = min(self.min_lanes, other.min_lanes)
+        # 0 means "unset" (a default-constructed report whose run never
+        # touched the link); min() over it would claim a full link loss.
+        observed = [v for v in (self.min_lanes, other.min_lanes) if v > 0]
+        merged.min_lanes = min(observed) if observed else 0
         return merged
 
 
@@ -160,6 +191,9 @@ class SimulationReport:
     reconfig_invalidations: int = 0
     per_epoch_cycles: list[float] = field(default_factory=list)
     faults: FaultReport | None = None
+    # Per-epoch observability series; populated only when the engine ran
+    # with a live Recorder (None under the default NullRecorder).
+    timeline: "Timeline | None" = None
 
     @property
     def avg_access_latency_ns(self) -> float:

@@ -1,7 +1,6 @@
 """Focused tests for the baselines' classification and cost models."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.jigsaw import DOMINANCE, SHARED_PID, JigsawPolicy
 from repro.baselines.nexus import NexusPolicy

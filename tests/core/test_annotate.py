@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.annotate import (
-    AnnotatorParams,
     annotate_workload,
     annotation_report,
     detect_streams,

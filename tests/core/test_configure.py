@@ -1,7 +1,6 @@
 """Tests for the cache configuration algorithm (Algorithm 1)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,11 +6,8 @@ import pytest
 
 from repro.core import NdpExtPolicy
 from repro.core.configure import equal_share_allocations
-from repro.core.stream import StreamTable, configure_stream
-from repro.core.stream_cache import StreamCacheMapper
 from repro.faults import DramRowFault, FaultSchedule, UnitFailure
 from repro.sim import SimulationEngine, tiny
-from repro.sim.topology import Topology
 from repro.workloads import TINY, build
 
 from tests.core.test_stream_cache import make_setup, trace_of

@@ -1,7 +1,6 @@
 """Property tests on the stream-cache mapper's structural invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """End-to-end tests for the NDPExt runtime policy."""
 
-import numpy as np
 import pytest
 
 from repro.core.runtime import NdpExtPolicy

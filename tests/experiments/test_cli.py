@@ -1,8 +1,12 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
+import repro.__main__ as cli
 from repro.__main__ import FIGURES, build_parser, main
+from repro.obs import read_trace
 
 
 class TestParser:
@@ -43,8 +47,108 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ndpext" in out
         assert "jigsaw" in out
+        # Normalized against the explicit host baseline row.
+        assert "host" in out
+        assert "speedup vs host" in out
 
     def test_figure_command(self, capsys):
         assert main(["--preset", "tiny", "figure", "fig2"]) == 0
         out = capsys.readouterr().out
         assert "latency breakdown" in out
+
+    def test_report_command(self, tmp_path, capsys, monkeypatch):
+        # The full report regenerates every figure; pin it to two cheap
+        # ones so the test exercises the capture/write path, not the suite.
+        subset = {name: FIGURES[name] for name in ("fig2", "fig4b")}
+        monkeypatch.setattr(cli, "FIGURES", subset)
+        out_path = tmp_path / "results.md"
+        assert main(["--preset", "tiny", "report", "--output", str(out_path)]) == 0
+        body = out_path.read_text()
+        assert body.startswith("# NDPExt reproduction results")
+        assert "## fig2" in body and "## fig4b" in body
+        assert "latency breakdown" in body
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_trace_then_stats_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        csv_path = tmp_path / "timeline.csv"
+        assert main([
+            "--preset", "tiny", "trace",
+            "--workload", "pr", "--policy", "ndpext",
+            "--out", str(trace_path), "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "self-profile" in out
+        assert csv_path.exists()
+
+        # Every line is valid JSON with the documented framing.
+        lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[-1]["kind"] == "footer"
+
+        trace = read_trace(str(trace_path))
+        assert trace.header["workload"] == "pr"
+        assert trace.header["policy"] == "ndpext"
+        assert len(trace.timeline) > 0
+
+        # Acceptance: the trace carries at least one reconfiguration
+        # decision with predicted per-stream hit rates, and the realized
+        # rates to compare them against.
+        reconfigs = trace.events_of("reconfig")
+        assert reconfigs
+        assert all(
+            0.0 <= s["predicted_hit_rate"] <= 1.0
+            for e in reconfigs
+            for s in e["streams"]
+        )
+        accuracy = trace.events_of("hit_accuracy")
+        assert accuracy
+        assert all(
+            {"predicted", "realized"} <= set(s)
+            for e in accuracy
+            for s in e["streams"]
+        )
+
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hit_rate" in out
+        assert "mean_hit_prediction_error" in out
+
+    def test_stats_diff_two_traces(self, tmp_path, capsys):
+        paths = []
+        for policy in ("ndpext", "ndpext-static"):
+            path = tmp_path / f"{policy}.jsonl"
+            assert main([
+                "--preset", "tiny", "trace",
+                "--workload", "pr", "--policy", policy,
+                "--out", str(path),
+            ]) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main(["stats", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "delta" in out
+
+    def test_stats_rejects_three_traces(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main([
+            "--preset", "tiny", "trace",
+            "--workload", "pr", "--policy", "ndpext",
+            "--out", str(path),
+        ]) == 0
+        with pytest.raises(SystemExit):
+            main(["stats", str(path), str(path), str(path)])
+
+    def test_run_trace_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main([
+            "--preset", "tiny", "run",
+            "--workload", "pr", "--policy", "ndpext",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        assert "runtime cycles" in capsys.readouterr().out
+        trace = read_trace(str(trace_path))
+        assert trace.events_of("epoch")

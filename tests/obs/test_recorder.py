@@ -1,0 +1,145 @@
+"""Tests for the recorder, null recorder, and self-profiler."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    NullRecorder,
+    Recorder,
+    SelfProfiler,
+    read_trace,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NullRecorder.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        null = NullRecorder()
+        null.event("epoch", epoch=0)
+        null.counter("x")
+        null.gauge("y", 1.0)
+        with null.span("anything"):
+            pass
+        assert not hasattr(null, "events")
+
+    def test_span_is_reusable_singleton(self):
+        null = NullRecorder()
+        assert null.span("a") is null.span("b")
+
+
+class TestRecorder:
+    def test_events_carry_monotone_seq_and_kind(self):
+        rec = Recorder()
+        rec.event("alpha", x=1)
+        rec.event("beta", y=2)
+        assert [e["seq"] for e in rec.events] == [0, 1]
+        assert rec.events[0]["kind"] == "alpha"
+        assert rec.events[1]["y"] == 2
+
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        rec = Recorder()
+        rec.counter("n", 2)
+        rec.counter("n", 3)
+        rec.gauge("g", 1.0)
+        rec.gauge("g", 4.0)
+        assert rec.counters["n"] == 5
+        assert rec.gauges["g"] == 4.0
+
+    def test_events_of_filters_by_kind(self):
+        rec = Recorder()
+        rec.event("a")
+        rec.event("b")
+        rec.event("a")
+        assert len(rec.events_of("a")) == 2
+
+    def test_span_accumulates_wall_clock(self):
+        rec = Recorder()
+        with rec.span("work"):
+            pass
+        with rec.span("work"):
+            pass
+        stats = rec.profiler.spans["work"]
+        assert stats.calls == 2
+        assert stats.total_s >= 0.0
+
+    def test_jsonl_layout(self, tmp_path):
+        rec = Recorder(workload="pr", policy="ndpext")
+        rec.event("epoch", epoch=0)
+        rec.counter("n", 1)
+        with rec.span("s"):
+            pass
+        path = tmp_path / "t.jsonl"
+        lines = rec.write_jsonl(str(path))
+        parsed = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(parsed) == lines
+        assert parsed[0]["kind"] == "header"
+        assert parsed[0]["schema"] == SCHEMA_VERSION
+        assert parsed[0]["workload"] == "pr"
+        assert parsed[-1] == {"kind": "footer", "events": 1}
+
+
+class TestReadTrace:
+    def _write(self, tmp_path, rec):
+        path = tmp_path / "t.jsonl"
+        rec.write_jsonl(str(path))
+        return str(path)
+
+    def test_round_trip(self, tmp_path):
+        rec = Recorder(workload="pr")
+        rec.event("epoch", epoch=0)
+        rec.event("reconfig", epoch=1, applied=True)
+        path = self._write(tmp_path, rec)
+        trace = read_trace(path)
+        assert trace.header["workload"] == "pr"
+        assert [e["kind"] for e in trace.events] == ["epoch", "reconfig"]
+        assert trace.footer["events"] == 2
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "epoch", "epoch": 0}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(str(path))
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "schema": 999}\n')
+        with pytest.raises(ValueError, match="schema"):
+            read_trace(str(path))
+
+    def test_rejects_truncated_trace(self, tmp_path):
+        rec = Recorder()
+        rec.event("epoch", epoch=0)
+        rec.event("epoch", epoch=1)
+        path = tmp_path / "t.jsonl"
+        rec.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        del lines[1]  # drop one event; the footer count now disagrees
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(str(path))
+
+    def test_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "schema": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(str(path))
+
+
+class TestSelfProfiler:
+    def test_add_and_summary_order(self):
+        prof = SelfProfiler()
+        prof.add("slow", 2.0)
+        prof.add("fast", 0.5, calls=5)
+        summary = prof.summary()
+        assert summary[0]["label"] == "slow"
+        assert summary[1]["calls"] == 5
+        assert prof.total_s == pytest.approx(2.5)
+
+    def test_mean(self):
+        prof = SelfProfiler()
+        prof.add("x", 4.0, calls=2)
+        assert prof.spans["x"].mean_s == pytest.approx(2.0)

@@ -1,0 +1,87 @@
+"""Unit tests for EpochRecord / Timeline serialization and aggregation."""
+
+import csv
+
+from repro.obs import EpochRecord, Timeline
+from repro.sim.metrics import EnergyBreakdown, HitStats, LatencyBreakdown
+
+
+def _record(epoch: int) -> EpochRecord:
+    return EpochRecord(
+        epoch=epoch,
+        requests=100 * (epoch + 1),
+        post_l1_requests=60 * (epoch + 1),
+        hits=HitStats(l1_hits=40, cache_hits_local=30, cache_hits_remote=20, cache_misses=10),
+        breakdown=LatencyBreakdown(dram_ns=5.0 * (epoch + 1), extended_ns=2.0),
+        energy=EnergyBreakdown(ndp_dram_nj=3.0, cxl_nj=1.0 * epoch),
+        ext_accesses=10,
+        ext_bytes=640,
+        reconfig_movements=epoch,
+        cycles_total=1000.0 * (epoch + 1),
+    )
+
+
+class TestEpochRecord:
+    def test_json_round_trip(self):
+        rec = _record(2)
+        clone = EpochRecord.from_json(rec.to_json())
+        assert clone == rec
+
+    def test_from_json_reconstructs_nested_dataclasses(self):
+        clone = EpochRecord.from_json(_record(0).to_json())
+        assert isinstance(clone.hits, HitStats)
+        assert isinstance(clone.breakdown, LatencyBreakdown)
+        assert isinstance(clone.energy, EnergyBreakdown)
+
+    def test_from_json_ignores_unknown_keys(self):
+        payload = _record(0).to_json()
+        payload["future_field"] = 42
+        clone = EpochRecord.from_json(payload)
+        assert clone.epoch == 0
+
+
+class TestTimeline:
+    def _timeline(self, n=3) -> Timeline:
+        tl = Timeline()
+        for i in range(n):
+            tl.append(_record(i))
+        return tl
+
+    def test_len_and_iter(self):
+        tl = self._timeline()
+        assert len(tl) == 3
+        assert [r.epoch for r in tl] == [0, 1, 2]
+
+    def test_aggregate_hits_sums_fieldwise(self):
+        agg = self._timeline().aggregate_hits()
+        assert agg.l1_hits == 120
+        assert agg.cache_misses == 30
+        assert agg.total_requests == 300
+
+    def test_aggregate_breakdown_and_energy(self):
+        tl = self._timeline()
+        assert tl.aggregate_breakdown().dram_ns == 5.0 + 10.0 + 15.0
+        assert tl.aggregate_energy().cxl_nj == 0.0 + 1.0 + 2.0
+        assert tl.aggregate_energy().static_nj == 0.0
+
+    def test_event_round_trip_sorts_by_epoch(self):
+        tl = self._timeline()
+        events = tl.to_events()
+        assert all(e["kind"] == "epoch" for e in events)
+        # shuffle + add foreign event kinds; from_events must recover order
+        mixed = [events[2], {"kind": "reconfig", "epoch": 1}, events[0], events[1]]
+        clone = Timeline.from_events(mixed)
+        assert clone.records == tl.records
+
+    def test_csv_has_dotted_nested_columns(self, tmp_path):
+        tl = self._timeline()
+        header, rows = tl.csv_rows()
+        assert "hits.cache_misses" in header
+        assert "energy.cxl_nj" in header
+        assert len(rows) == 3
+        path = tmp_path / "timeline.csv"
+        tl.to_csv(str(path))
+        with open(path, newline="") as f:
+            parsed = list(csv.reader(f))
+        assert parsed[0] == header
+        assert len(parsed) == 4

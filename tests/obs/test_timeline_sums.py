@@ -1,0 +1,147 @@
+"""Validation of the observability layer against the engine's aggregates.
+
+Two guarantees pin the design:
+
+1. Recording must be *read-only*: a run under a live Recorder produces a
+   SimulationReport bit-identical to a run under the default
+   NullRecorder (only ``timeline`` is additionally populated).
+2. The per-epoch timeline must be *complete*: its series sum back to the
+   run's aggregate report — exactly for integer hit counts, within float
+   tolerance for latency/energy (static energy is charged once from the
+   final runtime, so it is excluded from the per-epoch series).
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.experiments.runner import POLICIES
+from repro.faults import CxlCrcBurst, FaultSchedule, UnitFailure
+from repro.obs import Recorder
+from repro.sim import SimulationEngine, tiny
+from repro.sim.metrics import EnergyBreakdown
+from repro.workloads import TINY, build
+
+
+def assert_reports_identical(a, b, skip=("faults", "timeline")):
+    for f in fields(a):
+        if f.name in skip:
+            continue
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if hasattr(va, "__dataclass_fields__"):
+            assert_reports_identical(va, vb, skip=skip)
+        else:
+            assert va == vb, f"field {f.name}: {va!r} != {vb!r}"
+
+
+def run_recorded(policy_name="ndpext", faults=None):
+    recorder = Recorder(workload="pr", policy=policy_name, preset="tiny")
+    engine = SimulationEngine(tiny(), faults=faults, recorder=recorder)
+    report = engine.run(build("pr", TINY), POLICIES[policy_name]())
+    return report, recorder
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_null_recorder_bit_identical(policy_name):
+    """Recording must never perturb the simulation (DESIGN.md contract)."""
+    plain = SimulationEngine(tiny()).run(build("pr", TINY), POLICIES[policy_name]())
+    recorded, _ = run_recorded(policy_name)
+    assert_reports_identical(plain, recorded)
+    assert plain.timeline is None
+    assert recorded.timeline is not None
+
+
+def test_timeline_populated_one_record_per_epoch():
+    report, _ = run_recorded()
+    assert len(report.timeline) == len(report.per_epoch_cycles)
+    assert [r.epoch for r in report.timeline] == list(range(len(report.timeline)))
+
+
+def test_hit_series_sums_exactly_to_aggregate():
+    report, _ = run_recorded()
+    assert report.timeline.aggregate_hits() == report.hits
+
+
+def test_latency_series_sums_to_aggregate():
+    report, _ = run_recorded()
+    agg = report.timeline.aggregate_breakdown()
+    for f in fields(agg):
+        assert getattr(agg, f.name) == pytest.approx(
+            getattr(report.breakdown, f.name), rel=1e-9, abs=1e-6
+        ), f.name
+
+
+def test_energy_series_sums_to_aggregate_minus_static():
+    report, _ = run_recorded()
+    agg = report.timeline.aggregate_energy()
+    # Static energy is charged once after the epoch loop, from the final
+    # runtime; it cannot be attributed to an epoch.
+    assert agg.static_nj == 0.0
+    assert report.energy.static_nj > 0.0
+    for f in fields(EnergyBreakdown):
+        if f.name == "static_nj":
+            continue
+        assert getattr(agg, f.name) == pytest.approx(
+            getattr(report.energy, f.name), rel=1e-9, abs=1e-6
+        ), f.name
+
+
+def test_last_record_carries_final_runtime():
+    report, _ = run_recorded()
+    assert report.timeline.records[-1].cycles_total == report.runtime_cycles
+
+
+def test_reconfig_series_sums_to_aggregate():
+    report, _ = run_recorded()
+    assert (
+        sum(r.reconfig_movements for r in report.timeline) == report.reconfig_movements
+    )
+    assert (
+        sum(r.reconfig_invalidations for r in report.timeline)
+        == report.reconfig_invalidations
+    )
+
+
+def test_reconfig_events_carry_predictions():
+    _, recorder = run_recorded()
+    reconfigs = recorder.events_of("reconfig")
+    assert reconfigs, "ndpext must emit at least one reconfiguration event"
+    for event in reconfigs:
+        assert "applied" in event
+        assert event["streams"], "per-stream predictions missing"
+        for stream in event["streams"]:
+            assert 0.0 <= stream["predicted_hit_rate"] <= 1.0
+
+
+def test_hit_accuracy_events_pair_predicted_with_realized():
+    _, recorder = run_recorded()
+    accuracy = recorder.events_of("hit_accuracy")
+    assert accuracy, "expected predicted-vs-realized events after epoch 0"
+    for event in accuracy:
+        for stream in event["streams"]:
+            assert 0.0 <= stream["predicted"] <= 1.0
+            assert 0.0 <= stream["realized"] <= 1.0
+
+
+def test_fault_events_recorded_in_trace_and_timeline():
+    schedule = FaultSchedule(
+        (UnitFailure(epoch=1, unit=2), CxlCrcBurst(epoch=1, duration=1))
+    )
+    report, recorder = run_recorded(faults=schedule)
+    unit_events = recorder.events_of("fault_unit")
+    assert len(unit_events) == 1
+    assert unit_events[0]["epoch"] == 1
+    assert recorder.events_of("crc_burst")
+    assert sum(r.fault_units for r in report.timeline) == 1
+    # Every fault event lands before the epoch record that reports it.
+    seq_of_epoch1 = next(
+        e["seq"] for e in recorder.events_of("epoch") if e["epoch"] == 1
+    )
+    assert unit_events[0]["seq"] < seq_of_epoch1
+
+
+def test_engine_profile_spans_present():
+    _, recorder = run_recorded()
+    labels = set(recorder.profiler.spans)
+    assert {"policy.setup", "engine.l1_filter", "policy.process", "engine.charge"} <= labels
+    assert "configure.solve" in labels

@@ -1,7 +1,6 @@
 """Engine edge-path tests: bypass addresses, probe charging, fills."""
 
 import numpy as np
-import pytest
 
 from repro.core.stream import StreamTable, configure_stream
 from repro.sim.engine import DramCachePolicy, RequestOutcome, SimulationEngine

@@ -12,10 +12,8 @@ from repro.sim.params import (
     MB,
     CoreParams,
     CxlParams,
-    DramTiming,
     NocParams,
     SramCacheParams,
-    SystemConfig,
     paper_hbm,
     paper_hmc,
     small,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads import SUITE, TINY, WorkloadScale, build
-from repro.workloads.registry import FACTORIES
 
 
 @pytest.fixture(scope="module")
