@@ -10,6 +10,21 @@ import pytest
 from repro.experiments.runner import ExperimentContext
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Benchmarks must time real simulations, not a warm user cache.
+
+    Each session gets a fresh private cache directory: cold on entry
+    (numbers are comparable across commits), still exercising the cache
+    write path, and leaving nothing behind in ``~/.cache``.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    yield
+    mp.undo()
+
+
 @pytest.fixture(scope="session")
 def context():
     """The small HBM-style system, the default for every figure."""

@@ -1,0 +1,31 @@
+"""Execution infrastructure: parallel cell fan-out and persistent caches.
+
+See DESIGN.md § "Execution & caching".  Public surface:
+
+* :mod:`repro.exec.cache` — content-addressed report cache + cell keys.
+* :mod:`repro.exec.tracecache` — disk memoization of workload traces.
+* :mod:`repro.exec.parallel` — fork-pool execution of simulation cells.
+* :mod:`repro.exec.bench` — the ``python -m repro bench`` harness.
+"""
+
+from repro.exec.cache import (
+    ReportCache,
+    cache_enabled,
+    cache_root,
+    cell_key,
+    code_stamp,
+)
+from repro.exec.parallel import CellTask, run_cells
+from repro.exec.tracecache import TraceCache, workload_key
+
+__all__ = [
+    "CellTask",
+    "ReportCache",
+    "TraceCache",
+    "cache_enabled",
+    "cache_root",
+    "cell_key",
+    "code_stamp",
+    "run_cells",
+    "workload_key",
+]

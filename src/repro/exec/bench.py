@@ -1,0 +1,222 @@
+"""The ``python -m repro bench`` harness.
+
+Measures the three performance pillars this repo's execution layer
+provides, and writes one ``BENCH_<date>.json`` so numbers can be
+committed alongside the code they describe:
+
+* **engine** — raw simulator throughput (trace accesses per second) on
+  one representative cell, plus the vectorized grouped L1 filter against
+  the legacy per-core loop it replaced (bit-equality is asserted while
+  timing, so the speedup is for identical results).
+* **suite** — wall clock for a policy-comparison grid run three ways:
+  serial with a cold cache, parallel (``--jobs``) with a cold cache, and
+  serial again against the warm persistent cache.  The warm run must
+  perform zero simulations.
+* **cache** — hit/miss counters and the measured round-trip cost of the
+  persistent report store.
+
+``--quick`` shrinks everything to the tiny preset for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.util import render_table
+
+
+def _time(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def _legacy_l1_filter(epochs, params):
+    """The engine's pre-vectorization hot loop, kept verbatim for the
+    benchmark comparison: per epoch, per core, an independent window-LRU
+    pass with the results scattered back."""
+    from repro.sim.sram_cache import filter_through_l1
+
+    masks = []
+    for epoch in epochs:
+        mask = np.zeros(len(epoch), dtype=bool)
+        for core in np.unique(epoch.core):
+            sel = epoch.core == core
+            mask[sel] = filter_through_l1(epoch.addr[sel], params).hit_mask
+        masks.append(mask)
+    return masks
+
+
+def _grouped_l1_filter(epochs, params, engine_cls):
+    from repro.sim.sram_cache import filter_cores_through_l1
+
+    orders = engine_cls._epoch_core_orders(epochs)
+    return [
+        filter_cores_through_l1(epoch.addr, epoch.core, params, order=order)
+        for epoch, order in zip(epochs, orders)
+    ]
+
+
+def bench_engine(preset: str, workload_name: str, repeats: int) -> dict:
+    """Throughput of one simulation cell + L1 filter speedup."""
+    from repro.core import NdpExtPolicy
+    from repro.experiments.runner import PRESETS, SCALES
+    from repro.sim import SimulationEngine
+    from repro.workloads import SMALL, build
+
+    config = PRESETS[preset]()
+    scale = SCALES.get(preset, SMALL)
+    workload = build(workload_name, scale)
+    n_accesses = len(workload.trace)
+
+    sim_times = []
+    for _ in range(repeats):
+        dt, _report = _time(
+            SimulationEngine(config).run, workload, NdpExtPolicy()
+        )
+        sim_times.append(dt)
+    best = min(sim_times)
+
+    epochs = workload.trace.epochs(config.epoch_accesses)
+    l1_params = config.core.l1d
+    legacy_dt, legacy_masks = _time(_legacy_l1_filter, epochs, l1_params)
+    grouped_dt, grouped_masks = _time(
+        _grouped_l1_filter, epochs, l1_params, SimulationEngine
+    )
+    for a, b in zip(legacy_masks, grouped_masks):
+        if not np.array_equal(a, b):
+            raise AssertionError("grouped L1 filter diverged from legacy loop")
+
+    return {
+        "preset": preset,
+        "workload": workload_name,
+        "accesses": n_accesses,
+        "sim_seconds_best": best,
+        "sim_seconds_all": sim_times,
+        "accesses_per_second": n_accesses / best if best else 0.0,
+        "l1_legacy_seconds": legacy_dt,
+        "l1_grouped_seconds": grouped_dt,
+        "l1_speedup": legacy_dt / grouped_dt if grouped_dt else 0.0,
+    }
+
+
+def _suite_grid(workloads, policies):
+    from repro.experiments.runner import Cell
+
+    return [Cell(w, p) for w in workloads for p in policies]
+
+
+def _run_suite(preset: str, workloads, policies, jobs: int) -> tuple[float, dict]:
+    """One full grid pass in a fresh context; returns (seconds, counters)."""
+    from repro.experiments.runner import ExperimentContext
+
+    context = ExperimentContext(preset=preset, jobs=jobs)
+    dt, _ = _time(context.run_many, _suite_grid(workloads, policies))
+    counters = {
+        "cache_hits_mem": context.cache_hits_mem,
+        "cache_hits_disk": context.cache_hits_disk,
+        "cache_misses": context.cache_misses,
+    }
+    return dt, counters
+
+
+def bench_suite(preset: str, workloads, policies, jobs: int) -> dict:
+    """Grid wall-clock: serial cold vs parallel cold vs warm cache."""
+    result: dict = {
+        "preset": preset,
+        "workloads": list(workloads),
+        "policies": list(policies),
+        "cells": len(workloads) * len(policies),
+        "jobs": jobs,
+    }
+    base_dir = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        try:
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "serial")
+            result["serial_cold_s"], result["serial_counters"] = _run_suite(
+                preset, workloads, policies, jobs=1
+            )
+            # Same cache dir, fresh context: everything comes from disk.
+            result["warm_s"], result["warm_counters"] = _run_suite(
+                preset, workloads, policies, jobs=1
+            )
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "parallel")
+            result["parallel_cold_s"], result["parallel_counters"] = _run_suite(
+                preset, workloads, policies, jobs=jobs
+            )
+        finally:
+            if base_dir is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = base_dir
+    result["parallel_speedup"] = (
+        result["serial_cold_s"] / result["parallel_cold_s"]
+        if result["parallel_cold_s"]
+        else 0.0
+    )
+    result["warm_speedup"] = (
+        result["serial_cold_s"] / result["warm_s"] if result["warm_s"] else 0.0
+    )
+    return result
+
+
+def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
+    from repro.exec.cache import code_stamp
+
+    if jobs is None:
+        jobs = max(2, os.cpu_count() or 1)
+    if quick:
+        preset = "tiny"
+        workloads = ("pr", "hotspot")
+        policies = ("ndpext", "nexus")
+        repeats = 2
+    else:
+        preset = "small"
+        workloads = ("pr", "hotspot", "recsys", "mv")
+        policies = ("ndpext", "nexus", "ndpext-static", "jigsaw")
+        repeats = 3
+    return {
+        "date": datetime.date.today().isoformat(),
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "code_stamp": code_stamp()[:16],
+        "engine": bench_engine(preset, workloads[0], repeats),
+        "suite": bench_suite(preset, workloads, policies, jobs),
+    }
+
+
+def cmd_bench(args) -> None:
+    result = run_bench(quick=args.quick)
+    out = args.out or f"BENCH_{result['date']}.json"
+    with open(out, "w") as f:
+        json.dump(result, f, indent=2)
+    engine = result["engine"]
+    suite = result["suite"]
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["engine accesses/s", f"{engine['accesses_per_second']:,.0f}"],
+                ["L1 filter speedup (grouped vs legacy)", f"{engine['l1_speedup']:.2f}x"],
+                ["suite cells", str(suite["cells"])],
+                ["suite serial cold", f"{suite['serial_cold_s']:.2f} s"],
+                [
+                    f"suite parallel cold (jobs={suite['jobs']})",
+                    f"{suite['parallel_cold_s']:.2f} s ({suite['parallel_speedup']:.2f}x)",
+                ],
+                ["suite warm cache", f"{suite['warm_s']:.2f} s ({suite['warm_speedup']:.2f}x)"],
+                [
+                    "warm run simulations",
+                    str(suite["warm_counters"]["cache_misses"]),
+                ],
+            ],
+            title=f"bench ({'quick' if result['quick'] else 'full'})",
+        )
+    )
+    print(f"[bench] wrote {out}")

@@ -1,0 +1,151 @@
+"""Disk memoization of deterministic workload traces.
+
+Workload generation (R-MAT graph synthesis in particular) is one of the
+two hot spots of a cold suite run.  Every generator is a pure function of
+``(name, scale)`` plus the generator source code, so its output — the
+trace arrays plus stream metadata — can be persisted once and re-loaded
+by every later process.
+
+Storage format: one ``.npz`` per workload cell holding the four trace
+arrays plus a JSON metadata blob (streams, phases, compute cost) encoded
+as a 0-d unicode array, so nothing is pickled and entries are inert
+data.  Writes go through the same temp-file + ``os.replace`` dance as
+the report cache.  Keys include :func:`repro.exec.cache.code_stamp`, so
+editing any generator invalidates the cache automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.stream import StreamConfig, StreamKind, StreamTable
+from repro.exec.cache import _canonical, code_stamp
+from repro.workloads.trace import Trace, Workload
+
+TRACE_SCHEMA = 1
+
+
+def workload_key(name: str, scale, stamp: str | None = None) -> str:
+    """Content hash identifying one generated workload."""
+    payload = {
+        "stamp": stamp if stamp is not None else code_stamp(),
+        "workload": name,
+        "scale": _canonical(scale),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _stream_meta(stream: StreamConfig) -> dict:
+    return {
+        "sid": stream.sid,
+        "kind": stream.kind.value,
+        "base": stream.base,
+        "size": stream.size,
+        "elem_size": stream.elem_size,
+        "read_only": stream.read_only,
+        "dims": list(stream.dims),
+        "order": stream.order,
+        "name": stream.name,
+    }
+
+
+def _restore_streams(metas: list[dict]) -> StreamTable:
+    table = StreamTable()
+    for m in metas:
+        table.configure(
+            StreamConfig(
+                sid=m["sid"],
+                kind=StreamKind(m["kind"]),
+                base=m["base"],
+                size=m["size"],
+                elem_size=m["elem_size"],
+                read_only=m["read_only"],
+                dims=tuple(m["dims"]),
+                order=m["order"],
+                name=m["name"],
+            )
+        )
+    return table
+
+
+class TraceCache:
+    """Persisted workload traces, one ``.npz`` per (name, scale) cell."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "traces" / key[:2] / f"{key}.npz"
+
+    def get(self, key: str) -> Workload | None:
+        path = self._path(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"][()]))
+                if meta.get("schema") != TRACE_SCHEMA:
+                    raise ValueError("unknown trace schema")
+                trace = Trace(
+                    core=data["core"],
+                    addr=data["addr"],
+                    write=data["write"],
+                    sid=data["sid"],
+                )
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Workload(
+            name=meta["name"],
+            streams=_restore_streams(meta["streams"]),
+            trace=trace,
+            compute_cycles_per_access=meta["compute_cycles_per_access"],
+            description=meta["description"],
+            phases=[(pos, label) for pos, label in meta["phases"]],
+        )
+
+    def put(self, key: str, workload: Workload) -> None:
+        meta = {
+            "schema": TRACE_SCHEMA,
+            "name": workload.name,
+            "streams": [_stream_meta(s) for s in workload.streams],
+            "compute_cycles_per_access": workload.compute_cycles_per_access,
+            "description": workload.description,
+            "phases": [[pos, label] for pos, label in workload.phases],
+        }
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            core=workload.trace.core,
+            addr=workload.trace.addr,
+            write=workload.trace.write,
+            sid=workload.trace.sid,
+            meta=np.array(json.dumps(meta)),
+        )
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(buf.getvalue())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return

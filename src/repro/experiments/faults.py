@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.baselines import NexusPolicy
 from repro.core import NdpExtPolicy
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.faults import CxlCrcBurst, CxlLaneDowntrain, FaultSchedule, UnitFailure
 from repro.util import render_table
 
@@ -52,6 +52,15 @@ def run_unit_failure(
     verbose: bool = True,
 ) -> dict:
     context = context or DEFAULT_CONTEXT
+    # Batch the clean runs; the faulted runs depend on each clean run's
+    # epoch count (to place the failure) so they follow per-variant.
+    context.run_many(
+        [
+            Cell(w, v, policy_factory=f, cache_key=f"faults:{v}")
+            for w in workloads
+            for v, f in VARIANTS.items()
+        ]
+    )
     result: dict[str, dict] = {}
     for wname in workloads:
         row: dict[str, dict] = {}
@@ -135,6 +144,10 @@ def run_link_degradation(
             (CxlLaneDowntrain(epoch=2, lanes=max(1, lanes // 4)),), seed=2
         ),
     }
+    schedules = [None] + list(scenarios.values())
+    context.run_many(
+        [Cell(w, "ndpext", faults=s) for w in workloads for s in schedules]
+    )
     result: dict[str, dict] = {}
     for wname in workloads:
         clean = context.run(wname, "ndpext")

@@ -15,7 +15,7 @@ hit rate NDP >> NUCA; next-level-memory fraction NUCA >> NDP.
 from __future__ import annotations
 
 from repro.baselines import StaticNucaPolicy, host_config
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import render_table
 
 WORKLOAD = "pr"
@@ -38,12 +38,16 @@ def _fig2_nuca_config(context: ExperimentContext):
 
 def run(context: ExperimentContext | None = None, verbose: bool = True) -> dict:
     context = context or DEFAULT_CONTEXT
-    ndp = context.run(WORKLOAD, "static-nuca")
-    nuca = context.run(
-        WORKLOAD,
-        "nuca-fig2-static",
-        config=_fig2_nuca_config(context),
-        policy_factory=StaticNucaPolicy,
+    ndp, nuca = context.run_many(
+        [
+            Cell(WORKLOAD, "static-nuca"),
+            Cell(
+                WORKLOAD,
+                "nuca-fig2-static",
+                config=_fig2_nuca_config(context),
+                policy_factory=StaticNucaPolicy,
+            ),
+        ]
     )
 
     def row(report):

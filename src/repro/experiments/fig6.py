@@ -12,7 +12,7 @@ share falls.
 
 from __future__ import annotations
 
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import render_table
 from repro.workloads import SUITE
 
@@ -25,6 +25,9 @@ def run(
     verbose: bool = True,
 ) -> dict:
     context = context or DEFAULT_CONTEXT
+    context.run_many(
+        [Cell(w, p) for w in workloads for p in ("nexus", "ndpext")]
+    )
     result: dict[str, dict] = {}
     for wname in workloads:
         nexus = context.run(wname, "nexus")

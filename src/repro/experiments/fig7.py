@@ -17,7 +17,7 @@ baseline metadata hit penalty is much larger for graph workloads.
 
 from __future__ import annotations
 
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import render_table
 
 WORKLOADS = ("recsys", "mv", "hotspot", "pathfinder", "pr", "bfs", "cc", "tc")
@@ -29,6 +29,9 @@ def run(
     verbose: bool = True,
 ) -> dict:
     context = context or DEFAULT_CONTEXT
+    context.run_many(
+        [Cell(w, p) for w in workloads for p in ("nexus", "ndpext")]
+    )
     result: dict[str, dict] = {}
     for wname in workloads:
         nexus = context.run(wname, "nexus")

@@ -17,10 +17,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.baselines import NexusPolicy
-from repro.core import NdpExtPolicy
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
-from repro.sim import SimulationEngine
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import geomean, render_table
 from repro.workloads import REPRESENTATIVE
 
@@ -37,13 +34,21 @@ SCALE_POINTS = (
 CXL_LATENCIES_NS = (50.0, 100.0, 200.0, 400.0)
 
 
+def _config_cells(config, workloads) -> list[Cell]:
+    """The (ndpext, nexus) cell pair per workload under ``config``."""
+    return [
+        Cell(wname, policy, config=config)
+        for wname in workloads
+        for policy in ("ndpext", "nexus")
+    ]
+
+
 def _speedup_for_config(context: ExperimentContext, config, workloads) -> float:
-    speedups = []
-    for wname in workloads:
-        workload = context.workload(wname)
-        ndpext = SimulationEngine(config).run(workload, NdpExtPolicy())
-        nexus = SimulationEngine(config).run(workload, NexusPolicy())
-        speedups.append(nexus.runtime_cycles / ndpext.runtime_cycles)
+    reports = context.run_many(_config_cells(config, workloads))
+    speedups = [
+        nexus.runtime_cycles / ndpext.runtime_cycles
+        for ndpext, nexus in zip(reports[0::2], reports[1::2])
+    ]
     return geomean(speedups)
 
 
@@ -54,16 +59,25 @@ def run_scaling(
 ) -> dict[str, float]:
     context = context or DEFAULT_CONTEXT
     base = context.config
-    result: dict[str, float] = {}
-    for label, sx, sy, mx, my in SCALE_POINTS:
-        config = base.scaled(
+    configs: dict[str, object] = {
+        label: base.scaled(
             name=f"{base.name}-{label}", stacks_x=sx, stacks_y=sy, mesh_x=mx, mesh_y=my
         )
-        result[label] = _speedup_for_config(context, config, workloads)
+        for label, sx, sy, mx, my in SCALE_POINTS
+    }
     # Single unit: conventional DRAM cache; the static variants isolate
     # the stream abstraction (no configuration algorithm needed).
-    single = base.scaled(name=f"{base.name}-1unit", stacks_x=1, stacks_y=1, mesh_x=1, mesh_y=1)
-    result["single-unit"] = _speedup_for_config(context, single, workloads)
+    configs["single-unit"] = base.scaled(
+        name=f"{base.name}-1unit", stacks_x=1, stacks_y=1, mesh_x=1, mesh_y=1
+    )
+    # One batch over the whole sweep so uncached cells share the fan-out.
+    context.run_many(
+        [c for config in configs.values() for c in _config_cells(config, workloads)]
+    )
+    result = {
+        label: _speedup_for_config(context, config, workloads)
+        for label, config in configs.items()
+    }
     if verbose:
         rows = [[label, f"{x:.2f}"] for label, x in result.items()]
         print(
@@ -84,13 +98,20 @@ def run_cxl(
 ) -> dict[float, float]:
     context = context or DEFAULT_CONTEXT
     base = context.config
-    result: dict[float, float] = {}
-    for latency in CXL_LATENCIES_NS:
-        config = base.scaled(
+    configs = {
+        latency: base.scaled(
             name=f"{base.name}-cxl{int(latency)}",
             cxl=replace(base.cxl, link_ns=latency),
         )
-        result[latency] = _speedup_for_config(context, config, workloads)
+        for latency in CXL_LATENCIES_NS
+    }
+    context.run_many(
+        [c for config in configs.values() for c in _config_cells(config, workloads)]
+    )
+    result = {
+        latency: _speedup_for_config(context, config, workloads)
+        for latency, config in configs.items()
+    }
     if verbose:
         rows = [[f"{int(l)} ns", f"{x:.2f}"] for l, x in result.items()]
         print(

@@ -21,8 +21,7 @@ normalized to the paper's default:
 from __future__ import annotations
 
 from repro.core import NdpExtPolicy
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
-from repro.sim import SimulationEngine
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import geomean, render_table
 from repro.workloads import REPRESENTATIVE
 
@@ -42,6 +41,18 @@ def _sweep(
     paper_note: str,
 ) -> dict[str, float]:
     """Run NdpExtPolicy under parameter overrides; normalize to 'default'."""
+    context.run_many(
+        [
+            Cell(
+                wname,
+                "ndpext",
+                policy_factory=lambda kw=kwargs: NdpExtPolicy(**kw),
+                cache_key=f"{label}:{case}",
+            )
+            for case, kwargs in cases.items()
+            for wname in workloads
+        ]
+    )
     runtimes: dict[str, float] = {}
     for case, kwargs in cases.items():
         per_workload = []
@@ -112,21 +123,30 @@ def run_affine_space(
         "default": base_space,
         "unlimited": context.config.unit_cache_bytes,
     }
-    # The affine cap lives in the system config; build per-case engines.
+    # The affine cap lives in the system config; build per-case configs
+    # and run them through the cached, batched executor.
     from dataclasses import replace as dreplace
 
-    runtimes: dict[str, float] = {}
-    for case, space in spaces.items():
-        config = context.config.scaled(
+    configs = {
+        case: context.config.scaled(
             name=f"{context.config.name}-affine-{case}",
             stream=dreplace(context.config.stream, affine_space_bytes=space),
         )
-        per_workload = []
-        for wname in workloads:
-            report = SimulationEngine(config).run(
-                context.workload(wname), NdpExtPolicy()
-            )
-            per_workload.append(report.runtime_cycles)
+        for case, space in spaces.items()
+    }
+    context.run_many(
+        [
+            Cell(wname, "ndpext", config=config)
+            for config in configs.values()
+            for wname in workloads
+        ]
+    )
+    runtimes: dict[str, float] = {}
+    for case, config in configs.items():
+        per_workload = [
+            context.run(wname, "ndpext", config=config).runtime_cycles
+            for wname in workloads
+        ]
         runtimes[case] = geomean(per_workload)
     normalized = {c: runtimes["default"] / r for c, r in runtimes.items()}
     if verbose:

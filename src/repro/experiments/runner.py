@@ -2,14 +2,18 @@
 
 Every figure/table reproduction builds on the same three ingredients: a
 system preset, a workload scale, and a set of policies.  This module
-centralizes policy construction, runs simulations with an in-process
-result cache (experiments share many (workload, policy) cells — e.g.
-Fig. 5, 6 and 7 all need the Nexus runs), and provides the speedup
-arithmetic the paper's figures report.
+centralizes policy construction, runs simulations behind a two-layer
+result cache — a bounded in-process LRU plus the persistent
+content-addressed store of :mod:`repro.exec.cache` (experiments share
+many (workload, policy) cells: Fig. 5, 6 and 7 all need the Nexus runs,
+and repeated invocations reuse whole suites across processes) — fans
+batches of cells across cores via :mod:`repro.exec.parallel`, and
+provides the speedup arithmetic the paper's figures report.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +27,8 @@ from repro.baselines import (
     host_config,
 )
 from repro.core import NdpExtPolicy
+from repro.exec.cache import ReportCache, cell_key, default_report_cache
+from repro.exec.parallel import CellTask, run_cells
 from repro.faults import FaultSchedule
 from repro.obs import NullRecorder
 from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
@@ -62,12 +68,47 @@ SCALES: dict[str, WorkloadScale] = {
 
 
 @dataclass
+class Cell:
+    """One requested simulation cell, before workloads are materialized.
+
+    The declarative counterpart of :meth:`ExperimentContext.run`'s
+    keyword arguments — experiments build lists of these and hand them
+    to :meth:`ExperimentContext.run_many` for batched (and optionally
+    parallel) execution.
+    """
+
+    workload: str
+    policy: str
+    config: SystemConfig | None = None
+    policy_factory: Callable[[], object] | None = None
+    scale: WorkloadScale | None = None
+    cache_key: str = ""
+    faults: FaultSchedule | None = None
+
+
+@dataclass
 class ExperimentContext:
-    """Caches workloads and simulation reports across experiments."""
+    """Caches workloads and simulation reports across experiments.
+
+    Reports live behind two cache layers keyed by the same
+    content-addressed cell key (:func:`repro.exec.cache.cell_key`): a
+    bounded in-process LRU of ``max_reports`` entries, and — unless
+    ``REPRO_DISK_CACHE=0`` — the persistent on-disk store shared by all
+    processes.  ``jobs`` sets the default fan-out width for
+    :meth:`run_many` (the CLI's ``--jobs``); 1 means serial.
+    """
 
     preset: str = "small"
+    jobs: int = 1
+    max_reports: int = 512
+    cache_hits_mem: int = 0
+    cache_hits_disk: int = 0
+    cache_misses: int = 0
     _workloads: dict[tuple, Workload] = field(default_factory=dict)
-    _reports: dict[tuple, SimulationReport] = field(default_factory=dict)
+    _reports: "OrderedDict[str, SimulationReport]" = field(
+        default_factory=OrderedDict
+    )
+    _disk: ReportCache | None | str = "unset"
 
     @property
     def config(self) -> SystemConfig:
@@ -76,6 +117,26 @@ class ExperimentContext:
     @property
     def scale(self) -> WorkloadScale:
         return SCALES.get(self.preset, SMALL)
+
+    @property
+    def disk_cache(self) -> ReportCache | None:
+        """The persistent report cache, or None when disabled by env."""
+        if self._disk == "unset":
+            self._disk = default_report_cache()
+        return self._disk
+
+    def clear(self) -> None:
+        """Drop all in-process cached state and reset the counters.
+
+        The persistent on-disk cache is left alone — delete its
+        directory (``repro.exec.cache.cache_root()``) to cold-start.
+        """
+        self._workloads.clear()
+        self._reports.clear()
+        self._disk = "unset"
+        self.cache_hits_mem = 0
+        self.cache_hits_disk = 0
+        self.cache_misses = 0
 
     def workload(
         self,
@@ -91,6 +152,66 @@ class ExperimentContext:
                 self._workloads[key] = build(name, scale)
         return self._workloads[key]
 
+    # ------------------------------------------------------------------
+    # Cache plumbing.
+
+    def _cell_key(self, cell: Cell) -> str:
+        return cell_key(
+            cell.workload,
+            cell.policy,
+            cell.config if cell.config is not None else self.config,
+            cell.scale or self.scale,
+            cache_key=cell.cache_key,
+            faults=cell.faults,
+        )
+
+    def _remember(self, key: str, report: SimulationReport) -> None:
+        """Insert into the bounded in-process LRU."""
+        self._reports[key] = report
+        self._reports.move_to_end(key)
+        while len(self._reports) > self.max_reports:
+            self._reports.popitem(last=False)
+
+    def _lookup(
+        self, key: str, recorder: NullRecorder | None
+    ) -> SimulationReport | None:
+        """Check memory then disk; counts the outcome on self + recorder."""
+        rec = recorder or NullRecorder()
+        if key in self._reports:
+            self._reports.move_to_end(key)
+            self.cache_hits_mem += 1
+            rec.counter("runner.cache_hit_mem")
+            return self._reports[key]
+        disk = self.disk_cache
+        if disk is not None:
+            report = disk.get(key)
+            if report is not None:
+                self._remember(key, report)
+                self.cache_hits_disk += 1
+                rec.counter("runner.cache_hit_disk")
+                return report
+        self.cache_misses += 1
+        rec.counter("runner.cache_miss")
+        return None
+
+    def _store(self, key: str, report: SimulationReport) -> None:
+        self._remember(key, report)
+        disk = self.disk_cache
+        if disk is not None:
+            disk.put(key, report)
+
+    def _task(self, cell: Cell) -> CellTask:
+        """Materialize a cell into a ready-to-run task."""
+        return CellTask(
+            workload=self.workload(cell.workload, cell.scale),
+            config=cell.config if cell.config is not None else self.config,
+            policy_factory=cell.policy_factory or POLICIES[cell.policy],
+            faults=cell.faults,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution.
+
     def run(
         self,
         workload_name: str,
@@ -104,26 +225,82 @@ class ExperimentContext:
     ) -> SimulationReport:
         """Run (or fetch) one simulation cell.
 
-        A live ``recorder`` bypasses the result cache entirely: the
-        caller wants this run's event trace, which a cached report does
-        not carry (and the recorded run must not poison the cache for
-        trace-free callers either).
+        A live ``recorder`` bypasses both result-cache layers entirely:
+        the caller wants this run's event trace, which a cached report
+        does not carry (and the recorded run must not poison the caches
+        for trace-free callers either).
         """
-        config = config or self.config
+        cell = Cell(
+            workload=workload_name,
+            policy=policy_name,
+            config=config,
+            policy_factory=policy_factory,
+            scale=scale,
+            cache_key=cache_key,
+            faults=faults,
+        )
         recording = recorder is not None and recorder.enabled
-        # Normalize before keying so ``scale=None`` and an explicit
-        # default scale land on the same cache entry.
-        scale = scale or self.scale
-        key = (workload_name, policy_name, config.name, cache_key, scale, faults)
-        if not recording and key in self._reports:
-            return self._reports[key]
-        workload = self.workload(workload_name, scale, recorder=recorder)
-        factory = policy_factory or POLICIES[policy_name]
-        engine = SimulationEngine(config, faults=faults, recorder=recorder)
-        report = engine.run(workload, factory())
-        if not recording:
-            self._reports[key] = report
+        if recording:
+            workload = self.workload(workload_name, scale, recorder=recorder)
+            factory = policy_factory or POLICIES[policy_name]
+            engine = SimulationEngine(
+                cell.config if cell.config is not None else self.config,
+                faults=faults,
+                recorder=recorder,
+            )
+            return engine.run(workload, factory())
+        key = self._cell_key(cell)
+        report = self._lookup(key, recorder)
+        if report is not None:
+            return report
+        report = self._task(cell).run()
+        self._store(key, report)
         return report
+
+    def run_many(
+        self, cells: list[Cell], jobs: int | None = None
+    ) -> list[SimulationReport]:
+        """Run a batch of cells, fanning cache misses across processes.
+
+        Cached cells (memory or disk) are served without simulation;
+        the rest — deduplicated by cell key — fan out over
+        :func:`repro.exec.parallel.run_cells` with ``jobs`` workers
+        (default: the context's ``jobs`` field).  Reports come back in
+        ``cells`` order and are bit-identical to serial execution.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        keys = [self._cell_key(cell) for cell in cells]
+        resolved: dict[str, SimulationReport] = {}
+        missing: list[tuple[str, Cell]] = []
+        seen: set[str] = set()
+        for key, cell in zip(keys, cells):
+            if key in seen:
+                continue
+            seen.add(key)
+            report = self._lookup(key, None)
+            if report is not None:
+                resolved[key] = report
+            else:
+                missing.append((key, cell))
+        if missing:
+            tasks = [self._task(cell) for _, cell in missing]
+            reports = run_cells(tasks, jobs=jobs)
+            for (key, _), report in zip(missing, reports):
+                self._store(key, report)
+                resolved[key] = report
+        return [resolved[key] for key in keys]
+
+    def host_cell(
+        self, workload_name: str, scale: WorkloadScale | None = None
+    ) -> Cell:
+        """The non-NDP host baseline cell for ``workload_name``."""
+        return Cell(
+            workload=workload_name,
+            policy="host",
+            config=host_config(self.config),
+            policy_factory=HostJigsawPolicy,
+            scale=scale,
+        )
 
     def run_host(
         self,
@@ -158,6 +335,19 @@ def speedup_table(
     Mirrors Fig. 5's normalization: every bar is runtime(baseline) /
     runtime(policy).
     """
+    # Prefetch the whole grid in one batch so uncached cells fan out
+    # across the context's `jobs` workers; the loop below then only
+    # reads the in-process cache.
+    grid = [
+        context.host_cell(wname) if baseline == "host" else Cell(wname, baseline)
+        for wname in workload_names
+    ]
+    grid += [
+        Cell(wname, pname)
+        for wname in workload_names
+        for pname in policy_names
+    ]
+    context.run_many(grid)
     table: dict[str, dict[str, float]] = {}
     for wname in workload_names:
         base = (

@@ -15,10 +15,25 @@ slower; the speedup is a few percent.
 from __future__ import annotations
 
 from repro.core import NdpExtPolicy
-from repro.experiments.runner import DEFAULT_CONTEXT, ExperimentContext
+from repro.experiments.runner import DEFAULT_CONTEXT, Cell, ExperimentContext
 from repro.util import geomean, render_table
 
 WORKLOADS = ("pr", "recsys", "bfs", "cc", "gnn")
+
+PLACEMENTS = ("consistent", "hash")
+
+
+def _cells(workloads) -> list[Cell]:
+    return [
+        Cell(
+            wname,
+            "ndpext",
+            policy_factory=lambda p=placement: NdpExtPolicy(placement=p),
+            cache_key=f"placement:{placement}",
+        )
+        for wname in workloads
+        for placement in PLACEMENTS
+    ]
 
 
 def run(
@@ -27,6 +42,7 @@ def run(
     verbose: bool = True,
 ) -> dict:
     context = context or DEFAULT_CONTEXT
+    context.run_many(_cells(workloads))
     result: dict[str, dict] = {}
     for wname in workloads:
         consistent = context.run(

@@ -163,6 +163,62 @@ def recency_hits(keys: np.ndarray, window: int) -> np.ndarray:
     return (prev_idx >= 0) & (idx - prev_idx <= window)
 
 
+def recency_hits_grouped(
+    keys: np.ndarray,
+    groups: np.ndarray,
+    window: int,
+    order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-group window-LRU in one vectorised pass.
+
+    Equivalent to running :func:`recency_hits` independently over each
+    group's subsequence (in trace order) and scattering the results back
+    — the L1-filter case, where every core owns a private cache and the
+    window counts only that core's accesses.  Bit-identical to the
+    per-group loop by construction: the stable group sort keeps each
+    group's accesses contiguous and in trace order, so positional
+    distances inside a segment equal the group-local distances, and the
+    (group, key) composite never matches across groups.
+
+    ``order`` optionally supplies the stable sort permutation by
+    ``groups`` (``np.lexsort((arange(n), groups))``), letting callers
+    that batch many epochs amortise the sort.
+    """
+    if window < 0:
+        raise ValueError(f"window must be non-negative, got {window}")
+    keys = np.asarray(keys)
+    groups = np.asarray(groups)
+    if keys.shape != groups.shape:
+        raise ValueError("keys and groups must have the same shape")
+    n = len(keys)
+    if n == 0 or window == 0:
+        return np.zeros(n, dtype=bool)
+    idx = np.arange(n, dtype=np.int64)
+    if order is None:
+        order = np.lexsort((idx, groups))
+    sorted_keys = np.asarray(keys[order], dtype=np.int64)
+    sorted_groups = groups[order].astype(np.int64)
+    # The (group, key) composite must be injective.  The cheap path
+    # packs the pair into one int64 (group ids occupy the low bits);
+    # only when that would overflow — keys near 2^63 after the shift —
+    # do we pay for a dense re-id via np.unique, which costs a full
+    # extra sort per call.
+    kmin = np.int64(sorted_keys.min()) if n else np.int64(0)
+    gmax = int(sorted_groups.max()) if n else 0
+    shift = max(1, gmax.bit_length())
+    kspan = int(sorted_keys.max()) - int(kmin)
+    if kmin >= 0 and sorted_groups.min() >= 0 and kspan < (1 << (62 - shift)):
+        composite = ((sorted_keys - kmin) << np.int64(shift)) | sorted_groups
+    else:
+        uniques, dense = np.unique(sorted_keys, return_inverse=True)
+        composite = sorted_groups * np.int64(len(uniques)) + dense
+    prev_idx, _ = _prev_in_group(composite, composite)
+    hits_sorted = (prev_idx >= 0) & (idx - prev_idx <= window)
+    hits = np.empty(n, dtype=bool)
+    hits[order] = hits_sorted
+    return hits
+
+
 def cold_miss_count(keys: np.ndarray) -> int:
     """Number of distinct keys (compulsory misses) in a trace."""
     return int(len(np.unique(np.asarray(keys))))

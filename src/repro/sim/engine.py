@@ -38,7 +38,7 @@ from repro.sim.metrics import (
     SimulationReport,
 )
 from repro.sim.params import CACHELINE_BYTES, SystemConfig
-from repro.sim.sram_cache import filter_through_l1
+from repro.sim.sram_cache import filter_cores_through_l1, filter_through_l1
 from repro.sim.topology import Topology
 from repro.workloads.trace import Trace, Workload
 
@@ -195,6 +195,10 @@ class SimulationEngine:
         epochs = workload.trace.epochs(self.config.epoch_accesses)
         if self.options.max_epochs is not None:
             epochs = epochs[: self.options.max_epochs]
+        # One trace-wide sort yields every epoch's stable-by-core
+        # permutation (the L1 filter's grouping), instead of one sort —
+        # previously one boolean scan per core — per epoch.
+        core_orders = self._epoch_core_orders(epochs)
 
         # The trace may carry more logical cores (threads) than the system
         # has physical units; threads are assigned round-robin and a
@@ -202,6 +206,7 @@ class SimulationEngine:
         n_threads = max(workload.trace.n_cores, 1)
         core_stall_ns = np.zeros(n_threads)
         core_accesses = np.zeros(n_threads, dtype=np.int64)
+        self._thread_units = np.arange(n_threads, dtype=np.int64) % self.config.n_units
         self._ext_accesses = 0
         self._ext_lane_accesses = {}
         self._inter_stack_bytes = 0
@@ -258,7 +263,9 @@ class SimulationEngine:
             invalidations += epoch_invalidations
 
             with recorder.span("engine.l1_filter"):
-                post_l1, l1_result = self._l1_filter(epoch)
+                post_l1, l1_result = self._l1_filter(
+                    epoch, order=core_orders[epoch_idx]
+                )
             hits.l1_hits += l1_result["hits"]
             l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
             breakdown.sram_ns += l1_ns
@@ -276,23 +283,41 @@ class SimulationEngine:
                     outcome = policy.process(post_l1)
                 if self.fault_state is not None and self.fault_state.degraded:
                     self.fault_state.demote(outcome)
+                # Per-epoch invariants every charge/queue step needs,
+                # computed once instead of once per consumer.
+                core_unit = post_l1.core.astype(np.int64) % self.config.n_units
+                in_stream = post_l1.sid >= 0
+                affine = (
+                    self._sid_affine[
+                        np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
+                    ]
+                    & in_stream
+                )
                 with recorder.span("engine.charge"):
-                    epoch_stall, ext_mask = self._charge(
-                        post_l1, outcome, breakdown, energy, hits
+                    epoch_stall, ext_mask, n_ext = self._charge(
+                        post_l1,
+                        outcome,
+                        breakdown,
+                        energy,
+                        hits,
+                        core_unit=core_unit,
+                        in_stream=in_stream,
+                        affine=affine,
                     )
                 queue_ns = self._queueing_delay(
-                    post_l1, epoch_stall, ext_mask, workload
+                    post_l1,
+                    epoch_stall,
+                    ext_mask,
+                    workload,
+                    unit=core_unit,
+                    n_ext=n_ext,
                 )
                 if queue_ns > 0:
-                    in_stream = post_l1.sid >= 0
-                    affine = self._sid_affine[
-                        np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
-                    ] & in_stream
                     observed = np.full(len(post_l1), queue_ns)
                     observed[affine] /= AFFINE_MLP
                     observed[in_stream & ~affine] /= self.config.indirect_mlp
                     epoch_stall[ext_mask] += observed[ext_mask]
-                    breakdown.extended_ns += queue_ns * int(ext_mask.sum())
+                    breakdown.extended_ns += queue_ns * n_ext
                 np.add.at(core_stall_ns, post_l1.core, epoch_stall)
             else:
                 outcome = None
@@ -359,11 +384,30 @@ class SimulationEngine:
         compute_cycles = core_accesses * workload.compute_cycles_per_access
         thread_cycles = compute_cycles + core_stall_ns / self.config.core.cycle_ns
         unit_cycles = np.zeros(self.config.n_units)
-        units = np.arange(len(thread_cycles)) % self.config.n_units
-        np.add.at(unit_cycles, units, thread_cycles)
+        np.add.at(unit_cycles, self._thread_units, thread_cycles)
         core_bound = float(np.max(unit_cycles)) if len(unit_cycles) else 0.0
         bw_bound = self._bandwidth_bound_ns() / self.config.core.cycle_ns
         return max(core_bound, bw_bound)
+
+    @staticmethod
+    def _epoch_core_orders(epochs: list[Trace]) -> list[np.ndarray]:
+        """Stable-by-core sort permutation for every epoch, in one pass.
+
+        A single trace-wide lexsort keyed by (epoch, core, position)
+        yields each epoch's grouping for the L1 filter; the per-epoch
+        slices only need their offsets subtracted.
+        """
+        lengths = np.array([len(e) for e in epochs], dtype=np.int64)
+        total = int(lengths.sum())
+        if total == 0:
+            return [np.empty(0, dtype=np.int64) for _ in epochs]
+        cores = np.concatenate([e.core for e in epochs])
+        epoch_ids = np.repeat(np.arange(len(epochs), dtype=np.int64), lengths)
+        pos = np.arange(total, dtype=np.int64)
+        order = np.lexsort((pos, cores, epoch_ids))
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        parts = np.split(order, np.cumsum(lengths)[:-1])
+        return [part - start for part, start in zip(parts, starts)]
 
     # Queueing delay is capped at this utilization: beyond it the open
     # M/D/1-style estimate diverges and real systems throttle instead.
@@ -381,6 +425,8 @@ class SimulationEngine:
         epoch_stall: np.ndarray,
         ext_mask: np.ndarray,
         workload: Workload,
+        unit: np.ndarray | None = None,
+        n_ext: int | None = None,
     ) -> float:
         """Per-miss queueing delay at the shared extended memory.
 
@@ -389,17 +435,29 @@ class SimulationEngine:
         waiting time grows as utilization approaches 1 (M/D/1-style
         rho/(2(1-rho)) scaling).  The epoch duration is estimated from
         the already-charged latencies, iterated once so the added delay
-        feeds back into the utilization estimate.
+        feeds back into the utilization estimate.  ``unit`` and
+        ``n_ext`` accept precomputed per-epoch values so the hot loop
+        does not repeat the modulo and mask reductions.
         """
-        n_ext = int(ext_mask.sum())
+        if n_ext is None:
+            n_ext = int(ext_mask.sum())
         if n_ext == 0:
             return 0.0
+        if unit is None:
+            unit = epoch.core.astype(np.int64) % self.config.n_units
         service = self._ext_service_ns() / self.config.cxl.channels
+        # Per-unit compute time is stall-independent; add it once.
+        compute = np.zeros(self.config.n_units)
+        np.add.at(
+            compute,
+            unit,
+            workload.compute_cycles_per_access * self.config.core.cycle_ns,
+        )
         queue_ns = 0.0
         for _ in range(2):
-            duration = self._epoch_duration_ns(
-                epoch, epoch_stall + queue_ns * ext_mask, workload
-            )
+            unit_ns = np.zeros(self.config.n_units)
+            np.add.at(unit_ns, unit, epoch_stall + queue_ns * ext_mask)
+            duration = float(np.max(unit_ns + compute))
             if duration <= 0:
                 return 0.0
             rho = min(n_ext * service / duration, self.MAX_UTILIZATION)
@@ -407,10 +465,15 @@ class SimulationEngine:
         return queue_ns
 
     def _epoch_duration_ns(
-        self, epoch: Trace, epoch_stall: np.ndarray, workload: Workload
+        self,
+        epoch: Trace,
+        epoch_stall: np.ndarray,
+        workload: Workload,
+        unit: np.ndarray | None = None,
     ) -> float:
         """Wall-clock estimate of one epoch: the busiest unit's time."""
-        unit = epoch.core.astype(np.int64) % self.config.n_units
+        if unit is None:
+            unit = epoch.core.astype(np.int64) % self.config.n_units
         unit_ns = np.zeros(self.config.n_units)
         np.add.at(unit_ns, unit, epoch_stall)
         compute = np.zeros(self.config.n_units)
@@ -460,15 +523,25 @@ class SimulationEngine:
             bounds.append(self._inter_stack_bytes / noc_bytes_per_ns)
         return max(bounds)
 
-    def _l1_filter(self, epoch: Trace) -> tuple[Trace, dict]:
-        """Filter the epoch through each core's L1D; return the miss trace."""
-        mask = np.zeros(len(epoch), dtype=bool)
-        for core in np.unique(epoch.core):
-            sel = epoch.core == core
-            result = filter_through_l1(
-                epoch.addr[sel], self.config.core.l1d, exact=self.options.exact_l1
+    def _l1_filter(self, epoch: Trace, order: np.ndarray | None = None) -> tuple[Trace, dict]:
+        """Filter the epoch through each core's L1D; return the miss trace.
+
+        The fast path runs all cores in one grouped window-LRU pass
+        (``order`` carries the precomputed stable-by-core permutation);
+        the exact reference model keeps the per-core loop, tests only.
+        """
+        if self.options.exact_l1:
+            mask = np.zeros(len(epoch), dtype=bool)
+            for core in np.unique(epoch.core):
+                sel = epoch.core == core
+                result = filter_through_l1(
+                    epoch.addr[sel], self.config.core.l1d, exact=True
+                )
+                mask[sel] = result.hit_mask
+        else:
+            mask = filter_cores_through_l1(
+                epoch.addr, epoch.core, self.config.core.l1d, order=order
             )
-            mask[sel] = result.hit_mask
         post = epoch.select(~mask)
         return post, {"mask": mask, "hits": int(mask.sum()), "total": len(epoch)}
 
@@ -479,42 +552,52 @@ class SimulationEngine:
         breakdown: LatencyBreakdown,
         energy: EnergyBreakdown,
         hits: HitStats,
-    ) -> np.ndarray:
-        """Charge latency/energy for one epoch; returns per-request stall ns."""
+        core_unit: np.ndarray | None = None,
+        in_stream: np.ndarray | None = None,
+        affine: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Charge latency/energy for one epoch.
+
+        Returns ``(stall, goes_ext, n_ext)``: the per-request stall ns
+        observed by the issuing cores, the mask of requests served by
+        the extended memory (misses plus bypasses), and that mask's
+        population count (so callers do not re-reduce it).  The optional
+        ``core_unit`` / ``in_stream`` / ``affine`` arrays accept the
+        per-epoch invariants the run loop already computed.
+        """
         n = len(trace)
         stall = np.array(outcome.metadata_ns, dtype=np.float64, copy=True)
         breakdown.metadata_ns += float(stall.sum())
 
-        core_unit = trace.core.astype(np.int64) % self.config.n_units
+        if core_unit is None:
+            core_unit = trace.core.astype(np.int64) % self.config.n_units
         serving = outcome.serving_unit
         hit = outcome.hit
         cached = serving >= 0
         serving_clip = np.clip(serving, 0, None)
 
+        # One flat gather index serves every topology table (latency,
+        # hop counts, energy) instead of four 2-D fancy-index passes.
+        flat = core_unit * self.topology.n_units + serving_clip
+        one_way = self.topology.latency_ns.ravel()[flat]
+        intra_hops = self.topology.intra_hops.ravel()[flat]
+        inter_hops = self.topology.inter_hops.ravel()[flat]
+        noc_pj = self.topology.energy_pj_per_bit.ravel()[flat]
+
         # --- Interconnect: request to home unit and response back. ---
         noc_ns = np.zeros(n)
-        one_way = self.topology.latency_ns[core_unit, serving_clip]
         noc_ns[cached] = 2.0 * one_way[cached]
-        intra_part = (
-            self.topology.intra_hops[core_unit, serving_clip]
-            * self.config.noc.intra_hop_ns
-        )
-        inter_part = (
-            self.topology.inter_hops[core_unit, serving_clip]
-            * self.config.noc.inter_hop_ns
-        )
+        intra_part = intra_hops * self.config.noc.intra_hop_ns
+        inter_part = inter_hops * self.config.noc.inter_hop_ns
         breakdown.intra_noc_ns += float(2.0 * intra_part[cached].sum())
         breakdown.inter_noc_ns += float(2.0 * inter_part[cached].sum())
 
         msg_bits = (CACHELINE_BYTES + 2 * HEADER_BYTES) * 8
-        noc_pj = self.topology.energy_pj_per_bit[core_unit, serving_clip]
         energy.noc_nj += float(2.0 * noc_pj[cached].sum()) * msg_bits / 1000.0
 
         # Inter-stack traffic for the link-bandwidth roofline: every
         # cross-stack round trip moves a request + response.
-        crosses = cached & (
-            self.topology.inter_hops[core_unit, serving_clip] > 0
-        )
+        crosses = cached & (inter_hops > 0)
         self._inter_stack_bytes += int(crosses.sum()) * (msg_bits // 8) * 2
 
         # --- NDP DRAM: hits and in-DRAM miss probes, row-buffer aware. ---
@@ -541,9 +624,10 @@ class SimulationEngine:
         miss = cached & ~hit
         bypass = ~cached
         goes_ext = miss | bypass
+        n_ext = int(np.count_nonzero(goes_ext))
         ext_ns = np.zeros(n)
         ext_latency_total = 0.0
-        if goes_ext.any():
+        if n_ext:
             port = self.options.cxl_port_unit
             ext_result = self.extended.access(trace.addr[goes_ext])
             ext_ns[goes_ext] = ext_result.latency_ns
@@ -559,17 +643,14 @@ class SimulationEngine:
             energy.cxl_nj += ext_result.link_energy_nj
             energy.ext_dram_nj += ext_result.dram_energy_nj
             if self.fault_state is not None:
-                fault_ns = self.fault_state.cxl_penalty_ns(
-                    int(goes_ext.sum()), self.extended
-                )
+                fault_ns = self.fault_state.cxl_penalty_ns(n_ext, self.extended)
                 if fault_ns is not None:
                     ext_ns[goes_ext] += fault_ns
                     ext_latency_total += float(fault_ns.sum())
-            n_ext_epoch = int(goes_ext.sum())
-            self._ext_accesses += n_ext_epoch
+            self._ext_accesses += n_ext
             lanes_now = self.extended.effective_lanes
             self._ext_lane_accesses[lanes_now] = (
-                self._ext_lane_accesses.get(lanes_now, 0) + n_ext_epoch
+                self._ext_lane_accesses.get(lanes_now, 0) + n_ext
             )
             # Fill energy: the fetched line is written into the home unit.
             fills = int(miss.sum())
@@ -592,14 +673,18 @@ class SimulationEngine:
         # indirect_mlp (1 on the host, which lacks stream engines).
         # Bandwidth/queueing effects still see the full demand (they are
         # computed from access counts, not stall).
-        in_stream = trace.sid >= 0
-        affine = self._sid_affine[np.clip(trace.sid, -1, len(self._sid_affine) - 2)]
-        affine = affine & in_stream
+        if in_stream is None:
+            in_stream = trace.sid >= 0
+        if affine is None:
+            affine = (
+                self._sid_affine[np.clip(trace.sid, -1, len(self._sid_affine) - 2)]
+                & in_stream
+            )
         stall[affine] /= AFFINE_MLP
         indirect = in_stream & ~affine
         stall[indirect] /= self.config.indirect_mlp
 
         hits.cache_hits_local += int((hit & (serving == core_unit)).sum())
         hits.cache_hits_remote += int((hit & cached & (serving != core_unit)).sum())
-        hits.cache_misses += int(goes_ext.sum())
-        return stall, goes_ext
+        hits.cache_misses += n_ext
+        return stall, goes_ext, n_ext

@@ -9,7 +9,7 @@ every experiment can print the paper's rows directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -209,3 +209,42 @@ class SimulationReport:
         if self.runtime_cycles <= 0:
             raise ValueError("runtime must be positive to compute speedup")
         return other.runtime_cycles / self.runtime_cycles
+
+    def to_json(self) -> dict:
+        """A JSON-able dict that round-trips through :meth:`from_json`.
+
+        Python floats serialize via ``repr`` so every finite value
+        round-trips exactly — a disk-cached report is bit-identical to
+        the freshly simulated one.  The ``timeline`` is deliberately
+        dropped: live-recorder runs bypass the result caches (the only
+        producers of persisted reports), so a cached report never
+        carries one.
+        """
+        return {
+            "policy": self.policy,
+            "workload": self.workload,
+            "runtime_cycles": self.runtime_cycles,
+            "breakdown": asdict(self.breakdown),
+            "energy": asdict(self.energy),
+            "hits": asdict(self.hits),
+            "reconfig_movements": self.reconfig_movements,
+            "reconfig_invalidations": self.reconfig_invalidations,
+            "per_epoch_cycles": list(self.per_epoch_cycles),
+            "faults": asdict(self.faults) if self.faults is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SimulationReport":
+        """Rebuild a report previously produced by :meth:`to_json`."""
+        return cls(
+            policy=data["policy"],
+            workload=data["workload"],
+            runtime_cycles=data["runtime_cycles"],
+            breakdown=LatencyBreakdown(**data["breakdown"]),
+            energy=EnergyBreakdown(**data["energy"]),
+            hits=HitStats(**data["hits"]),
+            reconfig_movements=data["reconfig_movements"],
+            reconfig_invalidations=data["reconfig_invalidations"],
+            per_epoch_cycles=list(data["per_epoch_cycles"]),
+            faults=FaultReport(**data["faults"]) if data["faults"] else None,
+        )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.cachesim import recency_hits
+from repro.sim.cachesim import recency_hits, recency_hits_grouped
 from repro.sim.params import SramCacheParams
 
 
@@ -97,3 +97,25 @@ def filter_through_l1(
         mask = recency_hits(lines, params.lines * WINDOW_SCALE)
     hits = int(mask.sum())
     return L1FilterResult(hit_mask=mask, hits=hits, misses=len(addrs) - hits)
+
+
+def filter_cores_through_l1(
+    addrs: np.ndarray,
+    cores: np.ndarray,
+    params: SramCacheParams,
+    order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Filter a multi-core epoch through per-core private L1Ds at once.
+
+    One grouped window-LRU pass over the whole epoch, bit-identical to
+    calling :func:`filter_through_l1` per core and scattering the masks
+    (the engine's old hot loop).  ``order`` optionally carries the
+    precomputed stable sort of ``cores`` so a caller iterating many
+    epochs pays for one trace-wide sort instead of one per epoch.
+    Returns the per-access hit mask.
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    lines = addrs // params.line_bytes
+    return recency_hits_grouped(
+        lines, cores, params.lines * WINDOW_SCALE, order=order
+    )

@@ -39,18 +39,7 @@ SUITE = tuple(FACTORIES)
 REPRESENTATIVE = ("recsys", "mv", "hotspot", "pathfinder", "pr", "bfs")
 
 
-def build(name: str, scale: WorkloadScale | None = None) -> Workload:
-    """Construct a workload by suite name.
-
-    When ``scale.processes > 1``, independent instances are generated
-    (distinct seeds, disjoint address spaces, separate core subsets) and
-    merged — the paper's multi-process execution model.
-    """
-    if name not in FACTORIES:
-        raise KeyError(
-            f"unknown workload {name!r}; choose from {sorted(FACTORIES)}"
-        )
-    scale = scale or WorkloadScale()
+def _build_uncached(name: str, scale: WorkloadScale) -> Workload:
     factory = FACTORIES[name]
     if scale.processes <= 1:
         return factory(scale)
@@ -58,6 +47,40 @@ def build(name: str, scale: WorkloadScale | None = None) -> Workload:
         factory(scale.per_process(p)) for p in range(scale.processes)
     ]
     return merge_processes(instances, name=name)
+
+
+def build(name: str, scale: WorkloadScale | None = None) -> Workload:
+    """Construct a workload by suite name.
+
+    When ``scale.processes > 1``, independent instances are generated
+    (distinct seeds, disjoint address spaces, separate core subsets) and
+    merged — the paper's multi-process execution model.
+
+    Generation is deterministic in ``(name, scale)``, so results are
+    memoized on disk (see :mod:`repro.exec.tracecache`); a cache hit
+    skips the whole generation pass (R-MAT synthesis is a suite-level
+    hot spot).  Set ``REPRO_DISK_CACHE=0`` to disable.
+    """
+    if name not in FACTORIES:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(FACTORIES)}"
+        )
+    scale = scale or WorkloadScale()
+
+    from repro.exec.cache import cache_enabled, cache_root
+
+    if not cache_enabled():
+        return _build_uncached(name, scale)
+    from repro.exec.tracecache import TraceCache, workload_key
+
+    cache = TraceCache(cache_root())
+    key = workload_key(name, scale)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    workload = _build_uncached(name, scale)
+    cache.put(key, workload)
+    return workload
 
 
 def build_suite(

@@ -1,0 +1,19 @@
+"""Session-wide test hygiene.
+
+The persistent result/trace caches (repro.exec.cache) default to the
+user's ``~/.cache``; tests must neither read a stale cache nor leave
+entries behind, so the whole pytest session is pointed at a private
+temporary directory.  Tests still exercise the disk-cache code paths —
+they just do so hermetically.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    yield
+    mp.undo()

@@ -1,0 +1,109 @@
+"""Workload trace memoization and the bench harness smoke test."""
+
+import numpy as np
+import pytest
+
+from repro.exec.cache import cache_root
+from repro.exec.tracecache import TraceCache, workload_key
+from repro.workloads import TINY, build
+from repro.workloads.registry import _build_uncached
+
+
+def assert_workloads_identical(a, b):
+    assert a.name == b.name
+    assert np.array_equal(a.trace.core, b.trace.core)
+    assert np.array_equal(a.trace.addr, b.trace.addr)
+    assert np.array_equal(a.trace.write, b.trace.write)
+    assert np.array_equal(a.trace.sid, b.trace.sid)
+    assert a.compute_cycles_per_access == b.compute_cycles_per_access
+    assert a.phases == b.phases
+    sa, sb = list(a.streams), list(b.streams)
+    assert len(sa) == len(sb)
+    for x, y in zip(sa, sb):
+        assert (x.sid, x.kind, x.base, x.size, x.elem_size) == (
+            y.sid,
+            y.kind,
+            y.base,
+            y.size,
+            y.elem_size,
+        )
+        assert (x.read_only, x.dims, x.order, x.name) == (
+            y.read_only,
+            y.dims,
+            y.order,
+            y.name,
+        )
+
+
+@pytest.fixture()
+def cache_dir(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+class TestTraceCache:
+    def test_npz_round_trip(self, cache_dir):
+        workload = _build_uncached("pr", TINY)
+        cache = TraceCache(cache_dir)
+        key = workload_key("pr", TINY)
+        cache.put(key, workload)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert_workloads_identical(workload, loaded)
+
+    def test_registry_build_memoizes(self, cache_dir):
+        first = build("pr", TINY)
+        assert any(cache_root().rglob("*.npz"))
+        cached = build("pr", TINY)
+        assert_workloads_identical(first, cached)
+
+    def test_multi_process_merge_round_trips(self, cache_dir):
+        scale = TINY.scaled(processes=2, n_cores=4)
+        assert_workloads_identical(build("pr", scale), build("pr", scale))
+
+    def test_scale_changes_key(self):
+        assert workload_key("pr", TINY) != workload_key(
+            "pr", TINY.scaled(seed=7)
+        )
+        assert workload_key("pr", TINY) != workload_key("bfs", TINY)
+
+    def test_corrupt_npz_is_miss(self, cache_dir):
+        workload = _build_uncached("pr", TINY)
+        cache = TraceCache(cache_dir)
+        key = workload_key("pr", TINY)
+        cache.put(key, workload)
+        cache._path(key).write_bytes(b"not an npz")
+        assert cache.get(key) is None
+
+    def test_disabled_env_skips_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        build("pr", TINY)
+        assert not (tmp_path / "c2").exists()
+
+
+class TestBenchSmoke:
+    def test_quick_bench_end_to_end(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "bench-cache"))
+        from repro.exec.bench import run_bench
+
+        result = run_bench(quick=True, jobs=2)
+        engine = result["engine"]
+        suite = result["suite"]
+        assert engine["accesses_per_second"] > 0
+        assert engine["l1_grouped_seconds"] > 0
+        assert suite["cells"] == 4
+        # The warm pass must be pure cache: zero simulations.
+        assert suite["warm_counters"]["cache_misses"] == 0
+        assert suite["warm_counters"]["cache_hits_disk"] == suite["cells"]
+        assert suite["warm_speedup"] > 1.0
+
+    def test_cli_bench_writes_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+        monkeypatch.chdir(tmp_path)
+        from repro.__main__ import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -48,10 +48,11 @@ class TestRunner:
         assert faulted is again
 
     def test_speedup_table_rejects_degenerate_runtime(self, context):
+        from repro.experiments.runner import Cell
         from repro.sim.metrics import SimulationReport
 
         broken = ExperimentContext(preset="tiny")
-        key = ("pr", "ndpext", broken.config.name, "", broken.scale, None)
+        key = broken._cell_key(Cell("pr", "ndpext"))
         broken._reports[key] = SimulationReport(
             policy="ndpext", workload="pr", runtime_cycles=0.0
         )
