@@ -11,7 +11,8 @@ Usage::
     python -m repro report [--output results.md]
     python -m repro trace --workload pr --policy ndpext --out trace.jsonl
     python -m repro stats trace.jsonl [other.jsonl]
-    python -m repro bench [--quick] [--out BENCH.json]
+    python -m repro dash trace.jsonl --out dash.html [--prom m.prom]
+    python -m repro bench [--quick] [--out BENCH.json] [--check PREV.json]
 
 ``--jobs N`` fans uncached simulation cells across N worker processes;
 results are bit-identical to serial runs.  Completed cells persist in a
@@ -31,6 +32,15 @@ curves, fault events, and a wall-clock self-profile of the simulator).
 ``run`` writes the same trace alongside the result table; on
 ``compare`` it is a prefix and one ``<prefix>.<policy>.jsonl`` file is
 written per policy.
+
+``dash`` renders a trace (or a ``--report-out`` JSON) into one
+self-contained HTML page: per-tier latency CDFs with exact percentiles,
+the per-unit served-request heatmap, the stack-to-stack link matrix,
+and the epoch timeline.  ``--prom``/``--json`` additionally export the
+same content in Prometheus text format / as a metrics JSON payload.
+``bench --check PREV.json`` compares the fresh bench against a previous
+one and warns on regressions beyond ``--check-threshold`` (default
+20%); ``--check-strict`` exits non-zero instead of warning.
 """
 
 from __future__ import annotations
@@ -91,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write a JSONL observability trace to this path",
     )
+    run_p.add_argument(
+        "--report-out",
+        default=None,
+        help="also write the full report (histograms, spatial map) as JSON",
+    )
 
     cmp_p = sub.add_parser("compare", help="all policies on one workload")
     cmp_p.add_argument("--workload", required=True, choices=sorted(SUITE))
@@ -137,6 +152,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result JSON path (default: BENCH_<date>.json)",
     )
+    bench_p.add_argument(
+        "--check",
+        default=None,
+        metavar="PREV.json",
+        help="compare against a previous bench file and flag regressions",
+    )
+    bench_p.add_argument(
+        "--check-threshold",
+        type=float,
+        default=None,
+        help="relative slowdown that counts as a regression (default: 0.20)",
+    )
+    bench_p.add_argument(
+        "--check-strict",
+        action="store_true",
+        help="exit non-zero on regressions instead of warning",
+    )
+
+    dash_p = sub.add_parser(
+        "dash", help="render a trace or report JSON as a standalone HTML page"
+    )
+    dash_p.add_argument(
+        "input", help="JSONL trace (run/trace --trace-out) or report JSON"
+    )
+    dash_p.add_argument(
+        "--out", default="dash.html", help="HTML path (default: dash.html)"
+    )
+    dash_p.add_argument(
+        "--prom", default=None, help="also export Prometheus text format here"
+    )
+    dash_p.add_argument(
+        "--json", default=None, help="also export the metrics JSON payload here"
+    )
 
     stats_p = sub.add_parser(
         "stats", help="summarize one JSONL trace, or diff two"
@@ -173,16 +221,24 @@ def _print_run_table(
 
 
 def cmd_run(context: ExperimentContext, args) -> None:
+    # --report-out needs a live recorder too: histograms and the spatial
+    # map only exist on recorded runs (NullRecorder keeps the hot path
+    # bit-identical to an uninstrumented build).
     recorder = (
         _new_recorder(context, args.workload, args.policy)
-        if args.trace_out
+        if (args.trace_out or args.report_out)
         else None
     )
     report = context.run(args.workload, args.policy, recorder=recorder)
     _print_run_table(context, args, report, args.policy)
-    if recorder is not None:
+    if recorder is not None and args.trace_out:
         lines = recorder.write_jsonl(args.trace_out)
         print(f"[trace] wrote {args.trace_out} ({lines} lines)")
+    if args.report_out:
+        from repro.obs.export import write_json
+
+        write_json(args.report_out, report.to_json(include_obs=True))
+        print(f"[report] wrote {args.report_out}")
 
 
 def cmd_compare(context: ExperimentContext, args) -> None:
@@ -342,6 +398,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         cmd_stats(args)
+        return 0
+    if args.command == "dash":
+        from repro.obs.dash import cmd_dash
+
+        cmd_dash(args)
         return 0
     if args.command == "bench":
         from repro.exec.bench import cmd_bench

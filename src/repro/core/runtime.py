@@ -200,10 +200,17 @@ class NdpExtPolicy(DramCachePolicy):
         if self.recorder.enabled:
             self._predicted_hit_rate = self._predict_hit_rates(curves, chosen)
             alloc_by_sid = {alloc.sid: alloc for alloc in chosen}
+            # Per-unit rows the chosen configuration allocates — the
+            # placement's spatial footprint, next to the spatial
+            # accumulator's per-unit *served* counts.
+            unit_rows = np.zeros(self.config.n_units, dtype=np.int64)
+            for alloc in chosen:
+                unit_rows += alloc.shares
             self.recorder.event(
                 "reconfig",
                 epoch=epoch_idx,
                 applied=not skipped,
+                unit_rows=[int(v) for v in unit_rows],
                 predicted_cost_old=old_cost,
                 predicted_cost_new=new_cost,
                 movements=stats.movements,

@@ -16,6 +16,9 @@ committed alongside the code they describe:
   persistent report store.
 
 ``--quick`` shrinks everything to the tiny preset for CI smoke runs.
+``--check PREV.json`` feeds the fresh result through the regression
+gate (:mod:`repro.obs.regress`): warn-only by default, hard exit with
+``--check-strict``.
 """
 
 from __future__ import annotations
@@ -220,3 +223,49 @@ def cmd_bench(args) -> None:
         )
     )
     print(f"[bench] wrote {out}")
+    if getattr(args, "check", None):
+        _check_against(result, args)
+
+
+def _check_against(result: dict, args) -> None:
+    """Compare the fresh result against ``args.check`` via the gate."""
+    from repro.obs.regress import DEFAULT_THRESHOLD, check_bench, delta_rows
+
+    threshold = (
+        args.check_threshold
+        if getattr(args, "check_threshold", None) is not None
+        else DEFAULT_THRESHOLD
+    )
+    strict = bool(getattr(args, "check_strict", False))
+    if not os.path.exists(args.check):
+        message = f"[bench] previous bench {args.check} not found; skipping check"
+        if strict:
+            raise SystemExit(message.replace("skipping check", "--check-strict"))
+        print(message)
+        return
+    try:
+        deltas, failed = check_bench(result, args.check, threshold=threshold)
+    except ValueError as exc:
+        if strict:
+            raise SystemExit(f"[bench] {exc}") from exc
+        print(f"[bench] check skipped: {exc}")
+        return
+    print(
+        render_table(
+            ["metric", "previous", "current", "regression", "status"],
+            delta_rows(deltas),
+            title=f"regression gate vs {args.check} (threshold {threshold:.0%})",
+        )
+    )
+    if failed:
+        names = ", ".join(d.metric for d in failed)
+        if strict:
+            raise SystemExit(
+                f"[bench] REGRESSED beyond {threshold:.0%}: {names}"
+            )
+        print(
+            f"[bench] warning: regressed beyond {threshold:.0%}: {names} "
+            "(warn-only; use --check-strict to fail)"
+        )
+    else:
+        print(f"[bench] regression gate passed ({len(deltas)} metrics)")

@@ -125,6 +125,14 @@ class ExperimentContext:
             self._disk = default_report_cache()
         return self._disk
 
+    def counters(self) -> dict[str, int]:
+        """The cache counters as one dict (for exporters and tests)."""
+        return {
+            "cache_hits_mem": self.cache_hits_mem,
+            "cache_hits_disk": self.cache_hits_disk,
+            "cache_misses": self.cache_misses,
+        }
+
     def clear(self) -> None:
         """Drop all in-process cached state and reset the counters.
 
@@ -241,6 +249,7 @@ class ExperimentContext:
         )
         recording = recorder is not None and recorder.enabled
         if recording:
+            recorder.counter("runner.recorded_runs")
             workload = self.workload(workload_name, scale, recorder=recorder)
             factory = policy_factory or POLICIES[policy_name]
             engine = SimulationEngine(
@@ -248,7 +257,8 @@ class ExperimentContext:
                 faults=faults,
                 recorder=recorder,
             )
-            return engine.run(workload, factory())
+            with recorder.span("runner.recorded_run"):
+                return engine.run(workload, factory())
         key = self._cell_key(cell)
         report = self._lookup(key, recorder)
         if report is not None:

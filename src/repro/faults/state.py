@@ -157,11 +157,21 @@ class FaultState:
             bad |= (serving == unit) & (outcome.local_row == row)
         demoted = int(bad.sum())
         if demoted:
+            if self.recorder.enabled:
+                # Attribute demotions to the unit they were aimed at
+                # (computed before serving_unit is overwritten below) so
+                # the spatial view can show *where* degradation lands.
+                by_unit = np.bincount(serving[bad], minlength=self.n_units)
+                self.recorder.event(
+                    "demote",
+                    epoch=self._epoch,
+                    requests=demoted,
+                    by_unit=[int(v) for v in by_unit],
+                )
             outcome.hit[bad] = False
             outcome.serving_unit[bad] = -1
             outcome.miss_probe_dram[bad] = False
             self.report.demoted_requests += demoted
-            self.recorder.event("demote", epoch=self._epoch, requests=demoted)
         return demoted
 
     def cxl_penalty_ns(

@@ -1,40 +1,69 @@
-"""Observability: event recording, epoch timelines, self-profiling.
+"""Observability: event recording, timelines, distributions, exporters.
 
-Three layers (DESIGN.md "Observability"):
+Layers (DESIGN.md "Observability" and "Distributional observability"):
 
 * :class:`Recorder` / :class:`NullRecorder` — structured counters,
   gauges, events, and wall-clock spans; the null default costs nothing.
 * :class:`Timeline` / :class:`EpochRecord` — per-epoch breakdowns of
   every aggregate in :class:`~repro.sim.metrics.SimulationReport`.
+* :class:`LatencyHistogram` / :class:`TierHistogramSet` — fixed
+  log-bucket latency distributions per serving tier, and
+  :class:`SpatialAccumulator` / :class:`SpatialReport` — per-unit load
+  and the stack-to-stack link-traffic matrix.
 * :class:`SelfProfiler` — perf_counter spans over the simulator's own
   hot paths (trace generation, L1 filter, policy, DRAM, reconfigure).
+* Exporters — :func:`prometheus_text` / :func:`json_payload` over a
+  report, the ``dash`` HTML renderer, and the bench regression gate in
+  :mod:`repro.obs.regress`.
 
 ``read_trace`` / ``summarize`` / ``diff_rows`` are the read side used
-by ``python -m repro stats``.
+by ``python -m repro stats``; ``report_from_trace`` rebuilds a full
+:class:`~repro.sim.metrics.SimulationReport` from a JSONL trace.
 """
 
+from repro.obs.histogram import (
+    BUCKET_SCHEME,
+    TIERS,
+    LatencyHistogram,
+    TierHistogramSet,
+)
 from repro.obs.profiler import SelfProfiler, SpanStats
-from repro.obs.recorder import SCHEMA_VERSION, NullRecorder, Recorder
+from repro.obs.recorder import (
+    SCHEMA_VERSION,
+    NullRecorder,
+    Recorder,
+    sanitize_json,
+)
+from repro.obs.spatial import SpatialAccumulator, SpatialReport
 from repro.obs.timeline import EpochRecord, Timeline
 from repro.obs.traceio import (
     TraceFile,
     diff_rows,
     read_trace,
+    report_from_trace,
     summarize,
     summary_rows,
 )
 
 __all__ = [
+    "BUCKET_SCHEME",
     "SCHEMA_VERSION",
+    "TIERS",
     "EpochRecord",
+    "LatencyHistogram",
     "NullRecorder",
     "Recorder",
     "SelfProfiler",
     "SpanStats",
+    "SpatialAccumulator",
+    "SpatialReport",
+    "TierHistogramSet",
     "Timeline",
     "TraceFile",
     "diff_rows",
     "read_trace",
+    "report_from_trace",
+    "sanitize_json",
     "summarize",
     "summary_rows",
 ]

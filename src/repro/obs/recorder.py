@@ -23,11 +23,30 @@ version, run metadata), then every event in emission order, then one
 from __future__ import annotations
 
 import json
+import math
 from typing import Iterator
 
 from repro.obs.profiler import SelfProfiler
 
 SCHEMA_VERSION = 1
+
+
+def sanitize_json(obj):
+    """Recursively replace non-finite floats with ``None``.
+
+    ``json.dumps`` would otherwise emit the bare tokens ``NaN`` /
+    ``Infinity``, which strict JSON parsers (and the JSON spec) reject —
+    a single undefined gauge would make a whole trace unreadable to
+    anything but Python.  Applied at serialization time only; in-memory
+    values are left untouched.
+    """
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {key: sanitize_json(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_json(value) for value in obj]
+    return obj
 
 
 class _NullSpan:
@@ -119,10 +138,17 @@ class Recorder(NullRecorder):
         yield {"kind": "footer", "events": len(self.events)}
 
     def write_jsonl(self, path: str) -> int:
-        """Write the trace; returns the number of lines written."""
+        """Write the trace; returns the number of lines written.
+
+        Non-finite floats are mapped to ``null`` (``allow_nan=False``
+        guarantees no ``NaN``/``Infinity`` token can slip through).
+        """
         n = 0
         with open(path, "w") as f:
             for line in self.lines():
-                f.write(json.dumps(line, sort_keys=False) + "\n")
+                f.write(
+                    json.dumps(sanitize_json(line), sort_keys=False, allow_nan=False)
+                    + "\n"
+                )
                 n += 1
         return n

@@ -1,0 +1,140 @@
+"""Performance-regression gate over ``BENCH_*.json`` runs.
+
+``python -m repro bench --check PREV.json`` compares the run it just
+measured against a previous bench file and flags slowdowns beyond a
+configurable threshold.  Wall-clock benchmarks are noisy — especially on
+shared CI runners — so the gate defaults to *warn-only*; ``--check-strict``
+turns regressions into a non-zero exit for repos that pin runners.
+
+Each guarded metric declares its direction (throughput: higher is
+better; wall clock: lower is better); the relative change is always
+normalized so ``+x%`` means *worse*.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+# (dotted path into the bench JSON, higher_is_better, short description)
+GUARDED_METRICS: tuple[tuple[str, bool, str], ...] = (
+    ("engine.accesses_per_second", True, "engine throughput"),
+    ("engine.l1_speedup", True, "grouped L1 filter speedup"),
+    ("suite.serial_cold_s", False, "suite serial cold wall clock"),
+    ("suite.parallel_cold_s", False, "suite parallel cold wall clock"),
+    ("suite.warm_s", False, "suite warm-cache wall clock"),
+)
+
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class MetricDelta:
+    """One guarded metric's comparison outcome."""
+
+    metric: str
+    description: str
+    previous: float
+    current: float
+    regression: float  # relative change, + = worse
+    threshold: float
+
+    @property
+    def failed(self) -> bool:
+        return self.regression > self.threshold
+
+    @property
+    def status(self) -> str:
+        return "REGRESSED" if self.failed else "ok"
+
+
+def _lookup(payload: dict, dotted: str) -> float | None:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_bench(
+    current: dict,
+    previous: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    metrics: tuple[tuple[str, bool, str], ...] = GUARDED_METRICS,
+) -> list[MetricDelta]:
+    """Compare two bench payloads; one :class:`MetricDelta` per metric
+    present in both (missing metrics are skipped, never failed)."""
+    deltas: list[MetricDelta] = []
+    for dotted, higher_is_better, description in metrics:
+        prev = _lookup(previous, dotted)
+        cur = _lookup(current, dotted)
+        if prev is None or cur is None or prev <= 0 or cur <= 0:
+            continue
+        if higher_is_better:
+            regression = prev / cur - 1.0
+        else:
+            regression = cur / prev - 1.0
+        deltas.append(
+            MetricDelta(
+                metric=dotted,
+                description=description,
+                previous=prev,
+                current=cur,
+                regression=regression,
+                threshold=threshold,
+            )
+        )
+    return deltas
+
+
+def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
+    return [d for d in deltas if d.failed]
+
+
+def delta_rows(deltas: list[MetricDelta]) -> list[list[str]]:
+    """Render comparisons as table rows for the CLI."""
+    return [
+        [
+            d.metric,
+            f"{d.previous:.4g}",
+            f"{d.current:.4g}",
+            f"{d.regression:+.1%}",
+            d.status,
+        ]
+        for d in deltas
+    ]
+
+
+def load_bench(path: str) -> dict:
+    """Read one ``BENCH_*.json``; raises ValueError with context on
+    malformed input rather than a bare decode error."""
+    with open(path) as f:
+        try:
+            payload = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a valid bench JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return payload
+
+
+def check_bench(
+    current: dict,
+    previous_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[MetricDelta], list[MetricDelta]]:
+    """Convenience wrapper: load, compare, split out failures.
+
+    Returns ``(all deltas, failed deltas)``.  Comparing a ``--quick``
+    run against a full run (or vice versa) is refused: the workload sets
+    differ, so wall-clock comparisons would be meaningless.
+    """
+    previous = load_bench(previous_path)
+    if bool(previous.get("quick")) != bool(current.get("quick")):
+        raise ValueError(
+            f"{previous_path}: cannot compare a quick bench against a full "
+            "bench (different workload sets)"
+        )
+    deltas = compare_bench(current, previous, threshold=threshold)
+    return deltas, regressions(deltas)

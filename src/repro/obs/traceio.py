@@ -12,7 +12,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.recorder import SCHEMA_VERSION
+from repro.obs.spatial import SpatialReport
 from repro.obs.timeline import Timeline
 
 
@@ -31,6 +33,21 @@ class TraceFile:
     @property
     def timeline(self) -> Timeline:
         return Timeline.from_events(self.events)
+
+    @property
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Per-tier latency histograms rebuilt from ``histogram`` events
+        (empty dict for traces recorded before repro.obs v2)."""
+        return {
+            event["tier"]: LatencyHistogram.from_json(event)
+            for event in self.events_of("histogram")
+        }
+
+    @property
+    def spatial(self) -> SpatialReport | None:
+        """The spatial summary from the ``spatial`` event, if recorded."""
+        events = self.events_of("spatial")
+        return SpatialReport.from_json(events[-1]) if events else None
 
     def events_of(self, kind: str) -> list[dict]:
         return [e for e in self.events if e.get("kind") == kind]
@@ -76,6 +93,34 @@ def read_trace(path: str) -> TraceFile:
     return trace
 
 
+def report_from_trace(trace: TraceFile):
+    """Reconstruct a :class:`~repro.sim.metrics.SimulationReport` from a
+    trace's events: timeline aggregates for hits/latency/energy, the
+    final cumulative runtime, plus the tier histograms and the spatial
+    summary.  Static energy cannot be recovered (it is charged once,
+    after the epoch loop) and stays at the per-epoch sum.
+    """
+    from repro.sim.metrics import SimulationReport
+
+    timeline = trace.timeline
+    last = timeline.records[-1] if len(timeline) else None
+    histograms = trace.histograms
+    return SimulationReport(
+        policy=trace.header.get("policy", "?"),
+        workload=trace.header.get("workload", "?"),
+        runtime_cycles=last.cycles_total if last else 0.0,
+        breakdown=timeline.aggregate_breakdown(),
+        energy=timeline.aggregate_energy(),
+        hits=timeline.aggregate_hits(),
+        reconfig_movements=sum(r.reconfig_movements for r in timeline),
+        reconfig_invalidations=sum(r.reconfig_invalidations for r in timeline),
+        per_epoch_cycles=[r.cycles_total for r in timeline],
+        timeline=timeline,
+        tier_histograms=histograms if histograms else None,
+        spatial=trace.spatial,
+    )
+
+
 def summarize(trace: TraceFile) -> dict:
     """Aggregate view of one trace for the ``stats`` verb."""
     timeline = trace.timeline
@@ -97,6 +142,8 @@ def summarize(trace: TraceFile) -> dict:
         if s.get("predicted") is not None
     ]
     last = timeline.records[-1] if len(timeline) else None
+    histograms = trace.histograms
+    spatial = trace.spatial
     return {
         "workload": trace.header.get("workload", "?"),
         "policy": trace.header.get("policy", "?"),
@@ -114,6 +161,15 @@ def summarize(trace: TraceFile) -> dict:
         "mean_hit_prediction_error": (
             sum(pred_err) / len(pred_err) if pred_err else 0.0
         ),
+        "p99_local_ns": (
+            histograms["local"].percentile(99.0) if "local" in histograms else 0.0
+        ),
+        "p99_extended_ns": (
+            histograms["extended"].percentile(99.0)
+            if "extended" in histograms
+            else 0.0
+        ),
+        "load_imbalance": spatial.load_imbalance if spatial else 0.0,
         "profile_s": sum(row.get("total_s", 0.0) for row in trace.profile),
     }
 

@@ -26,7 +26,9 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.faults import EpochFaults, FaultSchedule, FaultState
+from repro.obs.histogram import TIERS, TierHistogramSet
 from repro.obs.recorder import NullRecorder
+from repro.obs.spatial import SpatialAccumulator
 from repro.obs.timeline import EpochRecord, Timeline
 from repro.sim.cachesim import _prev_in_group
 from repro.sim.cxl import ExtendedMemory
@@ -57,6 +59,9 @@ STATIC_W_PER_UNIT = 0.2
 # accesses are data-dependent and serialize.  The same factor applies to
 # the host (hardware stride prefetchers achieve the equivalent).
 AFFINE_MLP = 4.0
+
+# Serving-tier indices into repro.obs.histogram.TIERS.
+TIER_LOCAL, TIER_INTRA, TIER_INTER, TIER_EXTENDED = range(len(TIERS))
 
 
 @dataclass
@@ -181,6 +186,11 @@ class SimulationEngine:
         self._ext_accesses = 0
         self._ext_lane_accesses: dict[int, int] = {}
         self._inter_stack_bytes = 0
+        # Distributional/spatial observers; only constructed (in run) when
+        # a live recorder is attached, so the null-recorder path performs
+        # no tier classification or scatter-adds at all.
+        self._obs_hist: TierHistogramSet | None = None
+        self._obs_spatial: SpatialAccumulator | None = None
 
     def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
         recorder = self.recorder
@@ -223,6 +233,14 @@ class SimulationEngine:
         invalidations = 0
         per_epoch_cycles: list[float] = []
         timeline = Timeline() if recorder.enabled else None
+        if recorder.enabled:
+            self._obs_hist = TierHistogramSet()
+            self._obs_spatial = SpatialAccumulator(
+                self.config.n_units, self.topology.unit_stack
+            )
+        else:
+            self._obs_hist = None
+            self._obs_spatial = None
 
         for epoch_idx, epoch in enumerate(epochs):
             events = None
@@ -356,10 +374,18 @@ class SimulationEngine:
         runtime_cycles = self._runtime_cycles(core_stall_ns, core_accesses, workload)
         runtime_ns = runtime_cycles * self.config.core.cycle_ns
         energy.static_nj += STATIC_W_PER_UNIT * self.config.n_units * runtime_ns
+        tier_histograms = None
+        spatial = None
         if recorder.enabled:
             recorder.gauge("engine.runtime_cycles", runtime_cycles)
             recorder.gauge("engine.static_nj", energy.static_nj)
             recorder.counter("engine.epochs", len(per_epoch_cycles))
+            tier_histograms = self._obs_hist.histograms()
+            spatial = self._obs_spatial.to_report()
+            for tier_name, hist in tier_histograms.items():
+                recorder.event("histogram", tier=tier_name, **hist.to_json())
+            recorder.event("spatial", **spatial.to_json())
+            recorder.gauge("engine.load_imbalance", spatial.load_imbalance)
 
         return SimulationReport(
             policy=policy.name,
@@ -373,6 +399,8 @@ class SimulationEngine:
             per_epoch_cycles=per_epoch_cycles,
             faults=self.fault_state.report if self.fault_state else None,
             timeline=timeline,
+            tier_histograms=tier_histograms,
+            spatial=spatial,
         )
 
     def _runtime_cycles(
@@ -627,6 +655,7 @@ class SimulationEngine:
         n_ext = int(np.count_nonzero(goes_ext))
         ext_ns = np.zeros(n)
         ext_latency_total = 0.0
+        origin = None
         if n_ext:
             port = self.options.cxl_port_unit
             ext_result = self.extended.access(trace.addr[goes_ext])
@@ -666,6 +695,31 @@ class SimulationEngine:
         )
 
         stall += noc_ns + dram_ns + ext_ns
+
+        if self._obs_hist is not None:
+            # Distributional/spatial observability (recorded runs only).
+            # ``stall`` at this point is the request's full service
+            # latency (metadata + NoC + DRAM + extended) before the
+            # MLP overlap division — the Fig. 2(a) notion of access
+            # latency, histogrammed by serving tier.
+            tier = np.full(n, TIER_EXTENDED, dtype=np.int64)
+            local = hit & (serving == core_unit)
+            remote = hit & ~local
+            tier[local] = TIER_LOCAL
+            tier[remote & (inter_hops == 0)] = TIER_INTRA
+            tier[remote & (inter_hops > 0)] = TIER_INTER
+            self._obs_hist.observe(tier, stall)
+            self._obs_spatial.observe_epoch(
+                core_unit=core_unit,
+                serving=serving,
+                hit=hit,
+                touches=touches,
+                dram_ns=dram_ns,
+                goes_ext=goes_ext,
+                origin=origin,
+                port_unit=self.options.cxl_port_unit,
+                round_trip_bytes=2 * (CACHELINE_BYTES + 2 * HEADER_BYTES),
+            )
 
         # Prefetch overlap: affine accesses expose memory-level
         # parallelism, so the core observes only 1/AFFINE_MLP of their

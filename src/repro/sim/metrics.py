@@ -13,6 +13,8 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.obs.histogram import LatencyHistogram
+    from repro.obs.spatial import SpatialReport
     from repro.obs.timeline import Timeline
 
 
@@ -194,6 +196,18 @@ class SimulationReport:
     # Per-epoch observability series; populated only when the engine ran
     # with a live Recorder (None under the default NullRecorder).
     timeline: "Timeline | None" = None
+    # Distributional/spatial observability (repro.obs v2); like the
+    # timeline, populated only on recorded runs.  ``tier_histograms``
+    # maps each serving tier (local/intra/inter/extended) to its latency
+    # histogram; ``spatial`` carries per-unit load and the inter-stack
+    # link-traffic matrix.
+    tier_histograms: "dict[str, LatencyHistogram] | None" = None
+    spatial: "SpatialReport | None" = None
+
+    @property
+    def load_imbalance(self) -> float | None:
+        """Max/mean served requests across units (None when not recorded)."""
+        return self.spatial.load_imbalance if self.spatial is not None else None
 
     @property
     def avg_access_latency_ns(self) -> float:
@@ -210,7 +224,7 @@ class SimulationReport:
             raise ValueError("runtime must be positive to compute speedup")
         return other.runtime_cycles / self.runtime_cycles
 
-    def to_json(self) -> dict:
+    def to_json(self, include_obs: bool = False) -> dict:
         """A JSON-able dict that round-trips through :meth:`from_json`.
 
         Python floats serialize via ``repr`` so every finite value
@@ -218,9 +232,11 @@ class SimulationReport:
         the freshly simulated one.  The ``timeline`` is deliberately
         dropped: live-recorder runs bypass the result caches (the only
         producers of persisted reports), so a cached report never
-        carries one.
+        carries one.  ``include_obs=True`` (used by ``run
+        --report-out``, never by the caches) additionally serializes
+        ``tier_histograms`` and ``spatial`` when present.
         """
-        return {
+        payload = {
             "policy": self.policy,
             "workload": self.workload,
             "runtime_cycles": self.runtime_cycles,
@@ -232,10 +248,32 @@ class SimulationReport:
             "per_epoch_cycles": list(self.per_epoch_cycles),
             "faults": asdict(self.faults) if self.faults is not None else None,
         }
+        if include_obs:
+            if self.tier_histograms is not None:
+                payload["tier_histograms"] = {
+                    tier: hist.to_json()
+                    for tier, hist in self.tier_histograms.items()
+                }
+            if self.spatial is not None:
+                payload["spatial"] = self.spatial.to_json()
+        return payload
 
     @classmethod
     def from_json(cls, data: dict) -> "SimulationReport":
         """Rebuild a report previously produced by :meth:`to_json`."""
+        tier_histograms = None
+        spatial = None
+        if data.get("tier_histograms"):
+            from repro.obs.histogram import LatencyHistogram
+
+            tier_histograms = {
+                tier: LatencyHistogram.from_json(payload)
+                for tier, payload in data["tier_histograms"].items()
+            }
+        if data.get("spatial"):
+            from repro.obs.spatial import SpatialReport
+
+            spatial = SpatialReport.from_json(data["spatial"])
         return cls(
             policy=data["policy"],
             workload=data["workload"],
@@ -247,4 +285,6 @@ class SimulationReport:
             reconfig_invalidations=data["reconfig_invalidations"],
             per_epoch_cycles=list(data["per_epoch_cycles"]),
             faults=FaultReport(**data["faults"]) if data["faults"] else None,
+            tier_histograms=tier_histograms,
+            spatial=spatial,
         )

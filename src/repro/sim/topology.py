@@ -42,6 +42,12 @@ class Topology:
         self.config = config
         self.n_units = config.n_units
         self.positions = [self._position_of(u) for u in range(self.n_units)]
+        # Vectorized unit -> stack map for per-request spatial attribution
+        # (the observability layer bins link traffic by stack pair).
+        self.unit_stack = np.array(
+            [p.stack for p in self.positions], dtype=np.int64
+        )
+        self.n_stacks = config.stacks_x * config.stacks_y
         self.intra_hops, self.inter_hops = self._hop_matrices()
         noc = config.noc
         self.latency_ns = (

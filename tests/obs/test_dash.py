@@ -1,0 +1,167 @@
+"""The ``repro dash`` renderer: structurally valid standalone HTML from
+either input shape (JSONL trace or report JSON), with every section the
+acceptance criteria name — CDF, unit heatmap, link matrix, timeline."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.core import NdpExtPolicy
+from repro.obs import Recorder
+from repro.obs.dash import load_input, render_dash
+from repro.obs.export import write_json
+from repro.sim import SimulationEngine, tiny
+from repro.workloads import TINY, build
+
+
+class TagChecker(HTMLParser):
+    """Minimal well-formedness check: every non-void tag closes in order."""
+
+    VOID = {"meta", "br", "hr", "img", "input", "link", "line", "rect", "circle", "path"}
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+        self.tags: dict[str, int] = {}
+
+    def handle_starttag(self, tag, attrs):
+        self.tags[tag] = self.tags.get(tag, 0) + 1
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        self.tags[tag] = self.tags.get(tag, 0) + 1
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(f"unbalanced </{tag}> (stack: {self.stack[-3:]})")
+        else:
+            self.stack.pop()
+
+
+def checked(html_text: str) -> TagChecker:
+    checker = TagChecker()
+    checker.feed(html_text)
+    assert not checker.errors, checker.errors
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+    return checker
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    recorder = Recorder(workload="pr", policy="ndpext", preset="tiny")
+    engine = SimulationEngine(tiny(), recorder=recorder)
+    report = engine.run(build("pr", TINY), NdpExtPolicy())
+    return report, recorder
+
+
+class TestRenderDash:
+    def test_standalone_well_formed_html(self, recorded):
+        report, _ = recorded
+        html_text = render_dash(report, source="test")
+        checker = checked(html_text)
+        assert html_text.startswith("<!DOCTYPE html>")
+        # Self-contained: no external scripts, stylesheets, or images.
+        assert "<script" not in html_text
+        assert "http://" not in html_text and "https://" not in html_text
+
+    def test_all_sections_present(self, recorded):
+        report, _ = recorded
+        html_text = render_dash(report)
+        for heading in (
+            "Latency CDF by serving tier",
+            "Requests served per NDP unit",
+            "Stack-to-stack link traffic",
+            "Epoch timeline",
+        ):
+            assert heading in html_text, heading
+        checker = checked(html_text)
+        assert checker.tags.get("svg", 0) >= 3
+        assert checker.tags.get("polyline", 0) >= 2  # CDFs + timeline
+        assert checker.tags.get("rect", 0) >= report.spatial.n_units
+        assert checker.tags.get("table", 0) >= 3  # percentiles, units, matrix
+        assert checker.tags.get("title", 0) >= 3  # native tooltips
+
+    def test_percentile_table_carries_each_populated_tier(self, recorded):
+        report, _ = recorded
+        html_text = render_dash(report)
+        for tier, hist in report.tier_histograms.items():
+            if hist.n:
+                assert f">{tier}<" in html_text or f"{tier}</td>" in html_text
+
+    def test_report_without_obs_degrades_gracefully(self, recorded):
+        report, _ = recorded
+        from repro.sim.metrics import SimulationReport
+
+        bare = SimulationReport.from_json(report.to_json())
+        html_text = render_dash(bare)
+        checked(html_text)
+        assert "no latency histograms" in html_text
+
+    def test_text_never_wears_series_color(self, recorded):
+        """SVG text elements use ink tokens, never the tier hues."""
+        report, _ = recorded
+        html_text = render_dash(report)
+        import re
+
+        for match in re.finditer(r"<text[^>]*fill=\"([^\"]+)\"", html_text):
+            assert match.group(1) in (
+                "var(--ink)",
+                "var(--ink-2)",
+                "var(--muted)",
+            ), match.group(0)
+
+
+class TestLoadInput:
+    def test_loads_jsonl_trace(self, recorded, tmp_path):
+        report, recorder = recorded
+        path = tmp_path / "t.jsonl"
+        recorder.write_jsonl(str(path))
+        loaded = load_input(str(path))
+        assert loaded.runtime_cycles == report.runtime_cycles
+        assert loaded.tier_histograms is not None
+        assert loaded.spatial is not None
+
+    def test_loads_report_json(self, recorded, tmp_path):
+        report, _ = recorded
+        path = tmp_path / "r.json"
+        write_json(str(path), report.to_json(include_obs=True))
+        loaded = load_input(str(path))
+        assert loaded.runtime_cycles == report.runtime_cycles
+        assert loaded.spatial.served == report.spatial.served
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises(ValueError, match="neither"):
+            load_input(str(path))
+
+
+class TestCli:
+    def test_dash_verb_end_to_end(self, recorded, tmp_path, capsys):
+        from repro.__main__ import main
+
+        _, recorder = recorded
+        trace = tmp_path / "t.jsonl"
+        recorder.write_jsonl(str(trace))
+        out = tmp_path / "dash.html"
+        prom = tmp_path / "m.prom"
+        assert (
+            main(
+                [
+                    "dash",
+                    str(trace),
+                    "--out",
+                    str(out),
+                    "--prom",
+                    str(prom),
+                ]
+            )
+            == 0
+        )
+        checked(out.read_text())
+        assert prom.read_text().startswith("# HELP")
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Prometheus/JSON exporter validity: every emitted line must parse
+under the text-format grammar, histogram series must be cumulative and
+capped by ``+Inf == _count``, and the JSON payload must be strictly
+finite."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.core import NdpExtPolicy
+from repro.obs import Recorder
+from repro.obs.export import json_payload, prometheus_text, write_json
+from repro.sim import SimulationEngine, tiny
+from repro.workloads import TINY, build
+
+# Prometheus text format: HELP/TYPE comments, or `name{labels} value`.
+METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN))$"
+)
+COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+@pytest.fixture(scope="module")
+def recorded_report():
+    recorder = Recorder(workload="pr", policy="ndpext", preset="tiny")
+    engine = SimulationEngine(tiny(), recorder=recorder)
+    return engine.run(build("pr", TINY), NdpExtPolicy())
+
+
+@pytest.fixture(scope="module")
+def prom(recorded_report):
+    return prometheus_text(recorded_report, extra_labels={"preset": "tiny"})
+
+
+class TestPrometheusFormat:
+    def test_every_line_parses(self, prom):
+        for line in prom.strip().splitlines():
+            assert METRIC_LINE.match(line) or COMMENT_LINE.match(line), line
+
+    def test_each_metric_declared_once_before_samples(self, prom):
+        declared = []
+        for line in prom.splitlines():
+            if line.startswith("# TYPE "):
+                declared.append(line.split()[2])
+        assert len(declared) == len(set(declared)), "duplicate TYPE headers"
+        seen = set()
+        for line in prom.splitlines():
+            if line.startswith("#"):
+                seen.add(line.split()[2])
+            else:
+                name = re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen or base in seen, name
+
+    def test_core_series_present(self, prom):
+        for needle in (
+            "repro_runtime_cycles",
+            'repro_requests_total{workload="pr",policy="ndpext",preset="tiny",level="l1"}',
+            "repro_request_latency_ns_bucket",
+            "repro_unit_served_requests_total",
+            "repro_load_imbalance",
+        ):
+            assert needle in prom, needle
+
+    def test_histogram_buckets_cumulative_and_capped(self, prom, recorded_report):
+        for tier, hist in recorded_report.tier_histograms.items():
+            pattern = re.compile(
+                r"repro_request_latency_ns_bucket\{[^}]*tier=\""
+                + tier
+                + r"\"[^}]*le=\"([^\"]+)\"\} (\d+)"
+            )
+            rows = [
+                (le, int(count))
+                for le, count in pattern.findall(prom)
+            ]
+            assert rows, tier
+            counts = [count for _, count in rows]
+            assert counts == sorted(counts), f"{tier}: not cumulative"
+            assert rows[-1][0] == "+Inf"
+            assert counts[-1] == hist.n
+
+    def test_unit_series_reconcile_with_spatial(self, prom, recorded_report):
+        served = re.findall(
+            r"repro_unit_served_requests_total\{[^}]*\} (\d+)", prom
+        )
+        assert [int(v) for v in served] == recorded_report.spatial.served
+
+
+class TestJsonPayload:
+    def test_no_non_finite_values_anywhere(self, recorded_report):
+        payload = json_payload(
+            recorded_report, extra={"weird": float("nan")}
+        )
+        text = json.dumps(payload, allow_nan=False)  # raises if any slip
+        assert "NaN" not in text and "Infinity" not in text
+        assert payload["weird"] is None
+
+    def test_carries_percentiles_and_imbalance(self, recorded_report):
+        payload = json_payload(recorded_report)
+        assert set(payload["percentiles_ns"]) == {
+            "local",
+            "intra",
+            "inter",
+            "extended",
+        }
+        for stats in payload["percentiles_ns"].values():
+            assert set(stats) == {"p50", "p95", "p99", "p999"}
+            assert all(
+                v is None or math.isfinite(v) for v in stats.values()
+            )
+        assert payload["load_imbalance"] >= 1.0
+
+    def test_counters_passthrough(self, recorded_report):
+        payload = json_payload(
+            recorded_report, counters={"runner.cache_miss": 3}
+        )
+        assert payload["counters"] == {"runner.cache_miss": 3}
+
+    def test_write_json_round_trips(self, recorded_report, tmp_path):
+        path = tmp_path / "m.json"
+        write_json(str(path), json_payload(recorded_report))
+        loaded = json.loads(path.read_text())
+        assert loaded["runtime_cycles"] == recorded_report.runtime_cycles

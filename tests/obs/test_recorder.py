@@ -1,6 +1,7 @@
 """Tests for the recorder, null recorder, and self-profiler."""
 
 import json
+import math
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.obs import (
     Recorder,
     SelfProfiler,
     read_trace,
+    sanitize_json,
 )
 
 
@@ -80,6 +82,42 @@ class TestRecorder:
         assert parsed[0]["schema"] == SCHEMA_VERSION
         assert parsed[0]["workload"] == "pr"
         assert parsed[-1] == {"kind": "footer", "events": 1}
+
+    def test_jsonl_never_emits_nan_or_infinity_tokens(self, tmp_path):
+        """A non-finite gauge or event field must serialize as ``null``:
+        the bare ``NaN``/``Infinity`` tokens json.dumps would otherwise
+        produce are rejected by the JSON spec and strict parsers."""
+        rec = Recorder()
+        rec.event("weird", value=float("nan"), nested={"x": float("inf")})
+        rec.gauge("bad_gauge", float("-inf"))
+        path = tmp_path / "t.jsonl"
+        rec.write_jsonl(str(path))
+        text = path.read_text()
+        assert "NaN" not in text
+        assert "Infinity" not in text
+        parsed = [json.loads(line) for line in text.splitlines()]
+        event = next(p for p in parsed if p.get("kind") == "weird")
+        assert event["value"] is None
+        assert event["nested"]["x"] is None
+        # And the sanitized trace still round-trips through read_trace.
+        trace = read_trace(str(path))
+        assert trace.gauges["bad_gauge"] is None
+
+
+class TestSanitizeJson:
+    def test_maps_non_finite_to_none_recursively(self):
+        dirty = {
+            "a": float("nan"),
+            "b": [1.0, float("inf"), {"c": float("-inf")}],
+            "d": (2.0, math.nan),
+            "ok": 3.5,
+        }
+        clean = sanitize_json(dirty)
+        assert clean == {"a": None, "b": [1.0, None, {"c": None}], "d": [2.0, None], "ok": 3.5}
+
+    def test_leaves_finite_values_and_non_floats_alone(self):
+        payload = {"i": 7, "s": "x", "f": 1.25, "b": True, "n": None}
+        assert sanitize_json(payload) == payload
 
 
 class TestReadTrace:

@@ -1,0 +1,166 @@
+"""Regression-gate semantics: direction normalization, thresholds,
+missing metrics, quick-vs-full refusal, and CLI exit behavior."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    GUARDED_METRICS,
+    check_bench,
+    compare_bench,
+    delta_rows,
+    load_bench,
+    regressions,
+)
+
+
+def bench(aps=1000.0, l1=2.0, serial=10.0, parallel=4.0, warm=0.5, quick=False):
+    return {
+        "quick": quick,
+        "engine": {"accesses_per_second": aps, "l1_speedup": l1},
+        "suite": {
+            "serial_cold_s": serial,
+            "parallel_cold_s": parallel,
+            "warm_s": warm,
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_runs_have_zero_regression(self):
+        deltas = compare_bench(bench(), bench())
+        assert len(deltas) == len(GUARDED_METRICS)
+        assert all(d.regression == pytest.approx(0.0) for d in deltas)
+        assert not regressions(deltas)
+
+    def test_throughput_drop_is_positive_regression(self):
+        """Lower accesses/s is worse: +x% regression."""
+        deltas = compare_bench(bench(aps=500.0), bench(aps=1000.0))
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["engine.accesses_per_second"].regression == pytest.approx(1.0)
+        assert by_name["engine.accesses_per_second"].failed
+
+    def test_wall_clock_growth_is_positive_regression(self):
+        """Higher wall clock is worse: the sign is normalized."""
+        deltas = compare_bench(bench(serial=15.0), bench(serial=10.0))
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["suite.serial_cold_s"].regression == pytest.approx(0.5)
+        assert by_name["suite.serial_cold_s"].failed
+
+    def test_improvement_never_fails(self):
+        deltas = compare_bench(
+            bench(aps=2000.0, serial=5.0), bench(aps=1000.0, serial=10.0)
+        )
+        assert not regressions(deltas)
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["engine.accesses_per_second"].regression < 0
+
+    def test_threshold_boundary_is_not_a_failure(self):
+        deltas = compare_bench(
+            bench(serial=12.0), bench(serial=10.0), threshold=0.20
+        )
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["suite.serial_cold_s"].regression == pytest.approx(0.2)
+        assert not by_name["suite.serial_cold_s"].failed
+
+    def test_missing_metrics_are_skipped_not_failed(self):
+        previous = {"engine": {"accesses_per_second": 1000.0}}
+        deltas = compare_bench(bench(), previous)
+        assert [d.metric for d in deltas] == ["engine.accesses_per_second"]
+
+    def test_non_positive_values_are_skipped(self):
+        deltas = compare_bench(bench(aps=0.0), bench(aps=1000.0))
+        assert "engine.accesses_per_second" not in {d.metric for d in deltas}
+
+    def test_delta_rows_render_status(self):
+        rows = delta_rows(compare_bench(bench(aps=100.0), bench(aps=1000.0)))
+        status = {row[0]: row[4] for row in rows}
+        assert status["engine.accesses_per_second"] == "REGRESSED"
+        assert status["suite.warm_s"] == "ok"
+
+
+class TestCheckBench:
+    def _write(self, tmp_path, payload, name="prev.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_loads_and_splits_failures(self, tmp_path):
+        path = self._write(tmp_path, bench(aps=1000.0))
+        deltas, failed = check_bench(bench(aps=100.0), path)
+        assert len(deltas) == len(GUARDED_METRICS)
+        assert [d.metric for d in failed] == ["engine.accesses_per_second"]
+
+    def test_refuses_quick_vs_full(self, tmp_path):
+        path = self._write(tmp_path, bench(quick=True))
+        with pytest.raises(ValueError, match="quick"):
+            check_bench(bench(quick=False), path)
+
+    def test_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="not a valid bench JSON"):
+            load_bench(str(path))
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="object"):
+            load_bench(str(path))
+
+    def test_default_threshold_is_twenty_percent(self):
+        assert DEFAULT_THRESHOLD == pytest.approx(0.20)
+
+
+class TestBenchCliGate:
+    """The ``bench --check`` wiring, without running a real bench."""
+
+    def _args(self, **kw):
+        import argparse
+
+        defaults = dict(
+            check=None, check_threshold=None, check_strict=False
+        )
+        defaults.update(kw)
+        return argparse.Namespace(**defaults)
+
+    def test_strict_mode_exits_nonzero_on_regression(self, tmp_path):
+        from repro.exec.bench import _check_against
+
+        path = tmp_path / "prev.json"
+        path.write_text(json.dumps(bench(aps=10_000.0)))
+        with pytest.raises(SystemExit):
+            _check_against(
+                bench(aps=100.0),
+                self._args(check=str(path), check_strict=True),
+            )
+
+    def test_warn_only_returns_normally(self, tmp_path, capsys):
+        from repro.exec.bench import _check_against
+
+        path = tmp_path / "prev.json"
+        path.write_text(json.dumps(bench(aps=10_000.0)))
+        _check_against(bench(aps=100.0), self._args(check=str(path)))
+        out = capsys.readouterr().out
+        assert "warning: regressed" in out
+
+    def test_missing_previous_file_warns_unless_strict(self, tmp_path, capsys):
+        from repro.exec.bench import _check_against
+
+        missing = str(tmp_path / "nope.json")
+        _check_against(bench(), self._args(check=missing))
+        assert "not found" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            _check_against(
+                bench(), self._args(check=missing, check_strict=True)
+            )
+
+    def test_quick_mismatch_warns_unless_strict(self, tmp_path, capsys):
+        from repro.exec.bench import _check_against
+
+        path = tmp_path / "prev.json"
+        path.write_text(json.dumps(bench(quick=True)))
+        _check_against(bench(quick=False), self._args(check=str(path)))
+        assert "check skipped" in capsys.readouterr().out

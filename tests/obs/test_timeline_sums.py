@@ -23,7 +23,9 @@ from repro.sim.metrics import EnergyBreakdown
 from repro.workloads import TINY, build
 
 
-def assert_reports_identical(a, b, skip=("faults", "timeline")):
+def assert_reports_identical(
+    a, b, skip=("faults", "timeline", "tier_histograms", "spatial")
+):
     for f in fields(a):
         if f.name in skip:
             continue
@@ -49,6 +51,11 @@ def test_null_recorder_bit_identical(policy_name):
     assert_reports_identical(plain, recorded)
     assert plain.timeline is None
     assert recorded.timeline is not None
+    # The distributional/spatial accumulators are recording-only too: a
+    # NullRecorder run never constructs them.
+    assert plain.tier_histograms is None and plain.spatial is None
+    assert recorded.tier_histograms is not None
+    assert recorded.spatial is not None
 
 
 def test_timeline_populated_one_record_per_epoch():
