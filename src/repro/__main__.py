@@ -14,8 +14,14 @@ Usage::
     python -m repro dash trace.jsonl --out dash.html [--prom m.prom]
     python -m repro bench [--quick] [--out BENCH.json] [--check PREV.json]
 
-``--jobs N`` fans uncached simulation cells across N worker processes;
-results are bit-identical to serial runs.  Completed cells persist in a
+``--jobs N`` fans uncached simulation cells across N *supervised*
+worker processes: crashed or hung workers are detected, the affected
+cell is retried with exponential backoff, and repeat offenders are
+quarantined into a poison list instead of aborting the sweep — results
+stay bit-identical to serial runs.  ``--timeout`` caps per-cell wall
+clock, ``--max-retries`` bounds the attempt budget, and ``--resume
+MANIFEST`` journals completed cells so an interrupted sweep picks up
+exactly where it stopped.  Completed cells persist in a
 content-addressed disk cache (``REPRO_CACHE_DIR``, disable with
 ``REPRO_DISK_CACHE=0``), so repeated invocations skip simulation
 entirely.  ``bench`` measures engine throughput, parallel fan-out, and
@@ -88,8 +94,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="fan uncached simulation cells across N worker processes "
-        "(default: 1 = serial; results are bit-identical either way)",
+        help="fan uncached simulation cells across N supervised worker "
+        "processes (default: 1 = serial; results are bit-identical "
+        "either way, including across worker crashes and retries)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        default=None,
+        help="journal completed cells to this checkpoint manifest and "
+        "skip cells it already records — an interrupted sweep rerun "
+        "with the same manifest recomputes nothing it finished",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock limit; a hung worker is killed and the "
+        "cell retried (default: derived from the cell's size)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per cell after the first attempt before it is "
+        "quarantined into the poison list (default: 2)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -409,7 +439,13 @@ def main(argv: list[str] | None = None) -> int:
 
         cmd_bench(args)
         return 0
-    context = ExperimentContext(preset=args.preset, jobs=args.jobs)
+    context = ExperimentContext(
+        preset=args.preset,
+        jobs=args.jobs,
+        manifest_path=args.resume,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
     if args.command == "run":
         cmd_run(context, args)
     elif args.command == "compare":

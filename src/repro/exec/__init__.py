@@ -1,10 +1,14 @@
-"""Execution infrastructure: parallel cell fan-out and persistent caches.
+"""Execution infrastructure: supervised fan-out and crash-safe caches.
 
-See DESIGN.md § "Execution & caching".  Public surface:
+See DESIGN.md § "Execution & caching" and § "Resilient execution".
+Public surface:
 
-* :mod:`repro.exec.cache` — content-addressed report cache + cell keys.
-* :mod:`repro.exec.tracecache` — disk memoization of workload traces.
-* :mod:`repro.exec.parallel` — fork-pool execution of simulation cells.
+* :mod:`repro.exec.cache` — content-addressed, checksummed report cache.
+* :mod:`repro.exec.tracecache` — mmap-shared trace memoization with
+  single-builder locking.
+* :mod:`repro.exec.parallel` — supervised worker-pool execution
+  (retry/timeout/backoff, poison-list quarantine).
+* :mod:`repro.exec.checkpoint` — append-only sweep manifests (resume).
 * :mod:`repro.exec.bench` — the ``python -m repro bench`` harness.
 """
 
@@ -15,17 +19,32 @@ from repro.exec.cache import (
     cell_key,
     code_stamp,
 )
-from repro.exec.parallel import CellTask, run_cells
+from repro.exec.checkpoint import SweepManifest
+from repro.exec.parallel import (
+    CellExecutionError,
+    CellTask,
+    PoisonedCell,
+    PoolOutcome,
+    RetryPolicy,
+    run_cells,
+    run_supervised,
+)
 from repro.exec.tracecache import TraceCache, workload_key
 
 __all__ = [
+    "CellExecutionError",
     "CellTask",
+    "PoisonedCell",
+    "PoolOutcome",
     "ReportCache",
+    "RetryPolicy",
+    "SweepManifest",
     "TraceCache",
     "cache_enabled",
     "cache_root",
     "cell_key",
     "code_stamp",
     "run_cells",
+    "run_supervised",
     "workload_key",
 ]

@@ -195,7 +195,8 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
 
 
 def cmd_bench(args) -> None:
-    result = run_bench(quick=args.quick)
+    jobs = getattr(args, "jobs", 1)
+    result = run_bench(quick=args.quick, jobs=jobs if jobs > 1 else None)
     out = args.out or f"BENCH_{result['date']}.json"
     with open(out, "w") as f:
         json.dump(result, f, indent=2)
@@ -223,8 +224,35 @@ def cmd_bench(args) -> None:
         )
     )
     print(f"[bench] wrote {out}")
+    _check_floors(result, args)
     if getattr(args, "check", None):
         _check_against(result, args)
+
+
+def _check_floors(result: dict, args) -> None:
+    """Absolute invariants (e.g. parallel_speedup > 1) — no baseline
+    file required, so the gate holds on first runs too."""
+    from repro.obs.regress import check_floors, floor_rows
+
+    checks = check_floors(result)
+    if not checks:
+        return
+    print(
+        render_table(
+            ["metric", "floor", "current", "status"],
+            floor_rows(checks),
+            title="absolute invariants",
+        )
+    )
+    failed = [c for c in checks if c.failed]
+    if failed:
+        names = ", ".join(c.metric for c in failed)
+        if getattr(args, "check_strict", False):
+            raise SystemExit(f"[bench] BELOW FLOOR: {names}")
+        print(
+            f"[bench] warning: below floor: {names} "
+            "(warn-only; use --check-strict to fail)"
+        )
 
 
 def _check_against(result: dict, args) -> None:

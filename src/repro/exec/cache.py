@@ -43,7 +43,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_DISK_CACHE"
 
 # Bump when the on-disk entry layout (not the simulated values) changes.
-ENTRY_SCHEMA = 1
+# Schema 2 added a sha256 checksum over the report payload; schema-1
+# entries are treated as plain (stale-format) misses.
+ENTRY_SCHEMA = 2
 
 # Packages whose source determines simulation results; their content
 # hash is part of every cell key.
@@ -144,13 +146,23 @@ def cell_key(
 
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` without ever exposing a torn file."""
+    """Write ``data`` to ``path`` without ever exposing a torn file.
+
+    The temp file is fsync'd *before* the rename and the directory
+    after it: ``os.replace`` alone guarantees the entry is never torn,
+    but on a power loss the rename can be persisted while the data
+    blocks are not, leaving a validly-named file full of zeros.  A
+    crash-safe cache has to pay both syncs.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=path.suffix)
     try:
         with os.fdopen(fd, "wb") as f:
             f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -159,38 +171,106 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
         raise
 
 
+def fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory (persists renames within it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def payload_digest(payload) -> str:
+    """Canonical sha256 over a JSON-able payload (sorted keys, fixed
+    separators) — stable across a dump/load round trip, so a reader can
+    re-derive it from the parsed entry."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class _CorruptEntry(Exception):
+    """Internal: an entry that was read but failed validation."""
+
+
 class ReportCache:
-    """One JSON file per simulation cell, written atomically.
+    """One checksummed JSON file per simulation cell, written atomically.
 
     Sharded by the first two key hex digits to keep directories small.
-    ``get`` treats any unreadable or corrupt entry as a miss — a cache
-    must never be able to fail a run.
+    ``get`` never fails a run: a missing or stale-schema entry is a
+    plain miss, while an entry that fails JSON decode or its sha256
+    checksum (torn write survived a crash, bit rot, truncation) is
+    *quarantined* — moved into ``<root>/quarantine/`` and counted on
+    ``self.quarantined`` — instead of silently deleted, so operators can
+    inspect what corrupted and regression tests can assert recovery.
     """
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / "reports" / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            return
+        self.quarantined += 1
+
     def get(self, key: str) -> SimulationReport | None:
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
-            if data.get("schema") != ENTRY_SCHEMA:
-                raise ValueError(f"unknown entry schema {data.get('schema')!r}")
-            report = SimulationReport.from_json(data["report"])
-        except (OSError, ValueError, KeyError, TypeError):
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            try:
+                data = json.loads(raw)
+            except ValueError as exc:
+                raise _CorruptEntry("undecodable JSON") from exc
+            if not isinstance(data, dict):
+                raise _CorruptEntry("entry is not an object")
+            schema = data.get("schema")
+            if schema != ENTRY_SCHEMA:
+                if isinstance(schema, int):
+                    # Recognized-but-older layout: stale, not corrupt.
+                    self.misses += 1
+                    return None
+                raise _CorruptEntry(f"unrecognizable schema {schema!r}")
+            if "report" not in data or data.get("sha256") != payload_digest(
+                data["report"]
+            ):
+                raise _CorruptEntry("checksum mismatch")
+            try:
+                report = SimulationReport.from_json(data["report"])
+            except (ValueError, KeyError, TypeError) as exc:
+                raise _CorruptEntry("report failed to parse") from exc
+        except _CorruptEntry:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return report
 
     def put(self, key: str, report: SimulationReport) -> None:
-        entry = {"schema": ENTRY_SCHEMA, "report": report.to_json()}
         try:
+            payload = report.to_json()
+            entry = {
+                "schema": ENTRY_SCHEMA,
+                "sha256": payload_digest(payload),
+                "report": payload,
+            }
             blob = json.dumps(entry).encode()
         except (TypeError, ValueError):
             # Non-serializable report (e.g. a test double): skip caching

@@ -1,78 +1,603 @@
-"""Process-pool execution of independent simulation cells.
+"""Supervised worker-pool execution of independent simulation cells.
 
 Simulation cells are embarrassingly parallel — each one owns its engine,
-policy, and fault state — so a batch of cells fans out across cores with
-``fork``-based ``multiprocessing``:
+policy, and fault state — so a batch of cells fans out across cores.
+Unlike the ``Pool.map`` fan-out this module replaces, execution is
+*supervised*: paper-scale sweeps run for hours, and a single worker
+crash, hang, or OOM kill must cost one retry, not the whole suite.
 
-* The prepared tasks (workload arrays included) are published in a
-  module global *before* the pool forks, so workers inherit them via
-  copy-on-write instead of pickling multi-megabyte traces through pipes.
-  This also means policy factories may be arbitrary closures — nothing
-  about a task is ever pickled, only the small integer index into the
-  task list and the resulting :class:`SimulationReport`.
-* ``Pool.map`` preserves submission order, and every cell is simulated
-  by exactly the same code as the serial path, so results are
-  bit-identical to running the loop in-process (asserted in
-  ``tests/exec``).
+* **Long-lived workers, per-worker pipes.**  Workers are forked once per
+  batch and fed one cell at a time over a private duplex pipe, so a
+  ``SIGKILL``-ed worker can never corrupt a shared queue lock.  With the
+  ``fork`` start method nothing is pickled on the way in — workers
+  inherit the task list (policy factories may be arbitrary closures);
+  only small control tuples and the resulting
+  :class:`~repro.sim.metrics.SimulationReport` cross the pipe.
+* **Longest-first scheduling.**  Tasks are ordered by estimated cost
+  (trace length, or a scale-derived estimate for lazy tasks) so the
+  biggest cells start first and the tail of the batch stays balanced.
+  Cells sharing a workload are interleaved across distinct workloads so
+  concurrent workers build *different* traces under the single-builder
+  lock (:mod:`repro.exec.tracecache`) instead of serializing on one.
+* **Supervision.**  The parent waits on worker pipes *and* process
+  sentinels: a death (exit code, kill, OOM) or a hang (per-cell
+  wall-clock deadline derived from the cell's estimated size) is
+  detected, the worker is killed/reaped, a replacement is forked, and
+  the cell is retried with seeded exponential backoff.  Cells that
+  exhaust their attempt budget are quarantined into a poison list with
+  the captured traceback — the rest of the sweep completes.
+* **Bit identity.**  Every cell is simulated by exactly the same code as
+  the serial path, so results are bit-identical to running the loop
+  in-process (asserted in ``tests/exec``), including under injected
+  worker kills.
 
-Platforms without ``fork`` (or ``jobs <= 1``) fall back to the plain
-serial loop transparently.
+Chaos injection (used by tests and the CI chaos-smoke job): setting
+``REPRO_CHAOS_KILL_EVERY=N`` makes each *worker* SIGKILL itself before
+the first attempt of every N-th cell.  The supervisor must recover and
+the final reports must stay bit-identical.  The knob has no effect on
+serial (in-process) execution.
+
+Platforms without ``fork`` (or ``jobs <= 1``) fall back to a serial loop
+with the same retry/quarantine semantics (no timeouts — a hang cannot be
+killed without process isolation).
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
-from dataclasses import dataclass
+import os
+import random
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
 from typing import Callable, Sequence
 
 from repro.faults import FaultSchedule
 from repro.sim import SimulationEngine, SimulationReport, SystemConfig
+from repro.workloads.base import WorkloadScale
 from repro.workloads.trace import Workload
+
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_EVERY"
 
 
 @dataclass
 class CellTask:
-    """Everything needed to simulate one cell, fully materialized."""
+    """Everything needed to simulate one cell.
 
-    workload: Workload
+    The workload may be *lazy*: with ``workload=None`` and
+    ``workload_name``/``scale`` set, the trace is materialized where the
+    task runs (in a worker, under the trace cache's single-builder lock)
+    instead of serially in the parent — overlapping trace generation
+    with simulation across workers.
+    """
+
+    workload: Workload | None
     config: SystemConfig
     policy_factory: Callable[[], object]
     faults: FaultSchedule | None = None
+    workload_name: str | None = None
+    scale: WorkloadScale | None = None
+    label: str = ""
+
+    def materialize(self) -> Workload:
+        if self.workload is None:
+            if self.workload_name is None:
+                raise ValueError("lazy CellTask needs workload_name")
+            from repro.workloads import build
+
+            self.workload = build(self.workload_name, self.scale)
+        return self.workload
+
+    def est_accesses(self) -> int:
+        """Estimated trace length, for scheduling and timeout derivation."""
+        if self.workload is not None:
+            return len(self.workload.trace)
+        if self.scale is not None:
+            return int(self.scale.n_cores * self.scale.accesses_per_core)
+        return 0
 
     def run(self) -> SimulationReport:
+        workload = self.materialize()
         engine = SimulationEngine(self.config, faults=self.faults)
-        return engine.run(self.workload, self.policy_factory())
+        return engine.run(workload, self.policy_factory())
 
 
-# Published immediately before forking the pool so workers inherit the
-# task list; never read outside a run_cells call.
-_TASKS: Sequence[CellTask] | None = None
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry, backoff, and timeout semantics for one batch.
+
+    ``max_attempts`` bounds total tries per cell (first attempt
+    included).  Backoff between attempts is exponential with a seeded
+    jitter — deterministic in ``(seed, cell index, attempt)``, so a
+    replayed sweep waits the same way.  The per-cell wall-clock deadline
+    is ``timeout_s`` when set; otherwise it is derived from the cell's
+    estimated trace length via a deliberately pessimistic throughput
+    floor, so a legitimate big cell is never killed but a wedged worker
+    does not stall the sweep forever.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+    timeout_s: float | None = None
+    timeout_floor_s: float = 60.0
+    timeout_accesses_per_s: float = 20_000.0
+
+    def backoff_s(self, index: int, attempt: int) -> float:
+        # Tuples of ints hash deterministically (unlike str), so the
+        # jitter is stable across processes and PYTHONHASHSEED values.
+        rng = random.Random(hash((self.seed, index, attempt)))
+        step = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2 ** max(0, attempt - 1)),
+        )
+        return step * (0.5 + 0.5 * rng.random())
+
+    def timeout_for(self, est_accesses: int) -> float:
+        if self.timeout_s is not None:
+            return self.timeout_s
+        return max(
+            self.timeout_floor_s, est_accesses / self.timeout_accesses_per_s
+        )
 
 
-def _run_indexed(index: int) -> SimulationReport:
-    assert _TASKS is not None, "worker started outside run_cells"
-    return _TASKS[index].run()
+@dataclass
+class PoisonedCell:
+    """One cell that exhausted its attempt budget."""
+
+    index: int
+    attempts: int
+    kind: str  # "exception" | "worker-death" | "timeout"
+    error: str
+    label: str = ""
+
+
+@dataclass
+class PoolOutcome:
+    """What a supervised batch produced, successes and casualties both."""
+
+    reports: list[SimulationReport | None]
+    poisoned: list[PoisonedCell] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    attempts: int = 0
+
+
+class CellExecutionError(RuntimeError):
+    """Raised when a batch finishes with quarantined cells."""
+
+    def __init__(self, poisoned: Sequence[PoisonedCell]) -> None:
+        self.poisoned = list(poisoned)
+        lines = [
+            f"{len(self.poisoned)} cell(s) quarantined after repeated failures:"
+        ]
+        for cell in self.poisoned:
+            head = cell.error.strip().splitlines()
+            lines.append(
+                f"  [{cell.index}] {cell.label or 'cell'}: {cell.kind} after "
+                f"{cell.attempts} attempt(s): {head[-1] if head else ''}"
+            )
+        super().__init__("\n".join(lines))
 
 
 def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def run_cells(tasks: Sequence[CellTask], jobs: int = 1) -> list[SimulationReport]:
-    """Simulate every task; returns reports in task order.
+def schedule_order(tasks: Sequence[CellTask]) -> list[int]:
+    """Longest-first task order, interleaved across workload groups.
 
-    With ``jobs > 1`` and ``fork`` support, tasks fan out over a process
-    pool; otherwise they run serially in-process.  Either way the
-    reports are bit-identical.
+    Groups sharing one workload are round-robined (group order by
+    estimated cost, descending) so that concurrent workers materialize
+    *distinct* traces — the single-builder lock then never idles a
+    worker that could be generating a different workload.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, task in enumerate(tasks):
+        if task.workload is not None:
+            key = ("obj", id(task.workload))
+        else:
+            key = ("lazy", task.workload_name, task.scale)
+        groups.setdefault(key, []).append(i)
+    ranked = sorted(
+        groups.values(),
+        key=lambda idxs: max(tasks[i].est_accesses() for i in idxs),
+        reverse=True,
+    )
+    order: list[int] = []
+    for rank in range(max(len(g) for g in ranked)):
+        for group in ranked:
+            if rank < len(group):
+                order.append(group[rank])
+    return order
+
+
+def _noop_event(kind: str, **fields) -> None:
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+
+
+def _worker_main(conn, tasks: Sequence[CellTask]) -> None:
+    """Worker loop: receive (index, attempt), simulate, send the report.
+
+    SIGINT is ignored so a Ctrl+C in the parent's terminal (delivered to
+    the whole process group) leaves shutdown sequencing to the
+    supervisor — which journals completed cells before dying.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        chaos_every = int(os.environ.get(CHAOS_KILL_ENV, "0") or 0)
+    except ValueError:
+        chaos_every = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, index, attempt = msg
+        if chaos_every > 0 and attempt == 0 and index % chaos_every == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            report = tasks[index].run()
+            conn.send(("done", index, attempt, report))
+        except BaseException:
+            try:
+                conn.send(("error", index, attempt, traceback.format_exc()))
+            except (OSError, ValueError):
+                break
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side.
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "index", "deadline")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.index: int | None = None  # in-flight task, None when idle
+        self.deadline: float = 0.0
+
+
+class _Supervisor:
+    """Drives one batch: assignment, liveness, deadlines, retries."""
+
+    def __init__(
+        self,
+        tasks: Sequence[CellTask],
+        jobs: int,
+        policy: RetryPolicy,
+        outcome: PoolOutcome,
+        on_result,
+        emit,
+    ) -> None:
+        self.tasks = tasks
+        self.jobs = jobs
+        self.policy = policy
+        self.outcome = outcome
+        self.on_result = on_result
+        self.emit = emit
+        self.ctx = multiprocessing.get_context("fork")
+        self.pending: deque[int] = deque(schedule_order(tasks))
+        self.delayed: list[tuple[float, int]] = []  # (ready time, index)
+        self.attempts = [0] * len(tasks)
+        self.workers: list[_Worker] = []
+        self.done = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def spawn(self) -> _Worker:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_worker_main, args=(child_conn, self.tasks), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        self.workers.append(worker)
+        return worker
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self.workers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join()
+            worker.conn.close()
+        self.workers.clear()
+
+    # -- bookkeeping --------------------------------------------------
+
+    def assign(self, worker: _Worker, index: int) -> None:
+        worker.index = index
+        worker.deadline = time.monotonic() + self.policy.timeout_for(
+            self.tasks[index].est_accesses()
+        )
+        worker.conn.send(("run", index, self.attempts[index]))
+
+    def succeed(self, index: int, report: SimulationReport) -> None:
+        self.outcome.attempts += 1
+        self.outcome.reports[index] = report
+        self.done += 1
+        if self.on_result is not None:
+            self.on_result(index, report)
+
+    def fail(self, index: int, kind: str, error: str) -> None:
+        self.attempts[index] += 1
+        self.outcome.attempts += 1
+        if kind == "timeout":
+            self.outcome.timeouts += 1
+        elif kind == "worker-death":
+            self.outcome.worker_deaths += 1
+        label = self.tasks[index].label
+        if self.attempts[index] >= self.policy.max_attempts:
+            self.outcome.poisoned.append(
+                PoisonedCell(
+                    index=index,
+                    attempts=self.attempts[index],
+                    kind=kind,
+                    error=error,
+                    label=label,
+                )
+            )
+            self.done += 1
+            self.emit(
+                "exec_quarantine",
+                index=index,
+                label=label,
+                attempts=self.attempts[index],
+                failure=kind,
+                error=error[-2000:],
+            )
+        else:
+            self.outcome.retries += 1
+            backoff = self.policy.backoff_s(index, self.attempts[index])
+            self.emit(
+                "exec_retry",
+                index=index,
+                label=label,
+                attempt=self.attempts[index],
+                failure=kind,
+                backoff_s=backoff,
+            )
+            heapq.heappush(self.delayed, (time.monotonic() + backoff, index))
+
+    def handle_message(self, worker: _Worker, msg) -> None:
+        kind, index, _attempt, payload = msg
+        worker.index = None
+        if kind == "done":
+            self.succeed(index, payload)
+        else:
+            self.fail(index, "exception", payload)
+
+    def drain(self, worker: _Worker) -> bool:
+        """Deliver a buffered final message from a dying/dead worker.
+
+        Returns True when the in-flight cell was resolved by it — a
+        worker killed just after sending its report must not cost a
+        retry (and must never double-count the result).
+        """
+        try:
+            if not worker.conn.poll(0):
+                return False
+            msg = worker.conn.recv()
+        except Exception:
+            return False
+        self.handle_message(worker, msg)
+        return True
+
+    def reap(self, worker: _Worker, kind: str, error: str) -> None:
+        """Remove a dead (or killed) worker, failing its in-flight cell."""
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join()
+        if worker.index is not None and not self.drain(worker):
+            self.fail(worker.index, kind, error)
+            worker.index = None
+        worker.conn.close()
+        self.workers.remove(worker)
+
+    # -- main loop ----------------------------------------------------
+
+    def run(self) -> PoolOutcome:
+        total = len(self.tasks)
+        try:
+            for _ in range(min(self.jobs, total)):
+                self.spawn()
+            while self.done < total:
+                now = time.monotonic()
+                while self.delayed and self.delayed[0][0] <= now:
+                    self.pending.append(heapq.heappop(self.delayed)[1])
+                for worker in self.workers:
+                    if not self.pending:
+                        break
+                    if worker.index is None:
+                        self.assign(worker, self.pending.popleft())
+                busy = [w for w in self.workers if w.index is not None]
+                if not busy:
+                    if self.delayed:
+                        time.sleep(
+                            max(0.0, self.delayed[0][0] - time.monotonic())
+                        )
+                        continue
+                    if self.pending:
+                        # Every worker died; rebuild the pool.
+                        while len(self.workers) < min(
+                            self.jobs, len(self.pending)
+                        ):
+                            self.spawn()
+                        continue
+                    break  # pragma: no cover - defensive
+                timeout = min(w.deadline for w in busy) - now
+                if self.delayed:
+                    timeout = min(timeout, self.delayed[0][0] - now)
+                ready = connection.wait(
+                    [w.conn for w in busy] + [w.proc.sentinel for w in busy],
+                    timeout=max(0.0, timeout),
+                )
+                for worker in list(busy):
+                    if worker not in self.workers:
+                        continue  # already reaped this round
+                    if worker.conn in ready:
+                        try:
+                            msg = worker.conn.recv()
+                        except Exception:
+                            # EOF or a torn pickle from a dying worker.
+                            self.reap(
+                                worker,
+                                "worker-death",
+                                f"worker pid {worker.proc.pid} died "
+                                f"(exitcode {worker.proc.exitcode})",
+                            )
+                            continue
+                        self.handle_message(worker, msg)
+                    elif worker.proc.sentinel in ready:
+                        self.reap(
+                            worker,
+                            "worker-death",
+                            f"worker pid {worker.proc.pid} died "
+                            f"(exitcode {worker.proc.exitcode})",
+                        )
+                now = time.monotonic()
+                for worker in [w for w in self.workers if w.index is not None]:
+                    if worker.deadline <= now:
+                        index = worker.index
+                        limit = self.policy.timeout_for(
+                            self.tasks[index].est_accesses()
+                        )
+                        self.reap(
+                            worker,
+                            "timeout",
+                            f"cell {index} exceeded its {limit:.1f}s "
+                            "wall-clock deadline; worker killed",
+                        )
+                # Keep the pool sized to the remaining work.
+                remaining = total - self.done
+                while len(self.workers) < min(self.jobs, max(remaining, 0)):
+                    self.spawn()
+        finally:
+            self.shutdown()
+        return self.outcome
+
+
+def _run_serial(
+    tasks: Sequence[CellTask],
+    policy: RetryPolicy,
+    outcome: PoolOutcome,
+    on_result,
+    emit,
+) -> PoolOutcome:
+    for index, task in enumerate(tasks):
+        attempt = 0
+        while True:
+            try:
+                report = task.run()
+            except KeyboardInterrupt:
+                raise
+            except BaseException:
+                error = traceback.format_exc()
+                outcome.attempts += 1
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    outcome.poisoned.append(
+                        PoisonedCell(
+                            index=index,
+                            attempts=attempt,
+                            kind="exception",
+                            error=error,
+                            label=task.label,
+                        )
+                    )
+                    emit(
+                        "exec_quarantine",
+                        index=index,
+                        label=task.label,
+                        attempts=attempt,
+                        failure="exception",
+                        error=error[-2000:],
+                    )
+                    break
+                outcome.retries += 1
+                backoff = policy.backoff_s(index, attempt)
+                emit(
+                    "exec_retry",
+                    index=index,
+                    label=task.label,
+                    attempt=attempt,
+                    failure="exception",
+                    backoff_s=backoff,
+                )
+                time.sleep(backoff)
+                continue
+            outcome.attempts += 1
+            outcome.reports[index] = report
+            if on_result is not None:
+                on_result(index, report)
+            break
+    return outcome
+
+
+def run_supervised(
+    tasks: Sequence[CellTask],
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    on_result: Callable[[int, SimulationReport], None] | None = None,
+    on_event: Callable[..., None] | None = None,
+) -> PoolOutcome:
+    """Run a batch under supervision; never raises for cell failures.
+
+    ``on_result(index, report)`` fires in the parent as each cell
+    completes (in completion order, not submission order) — callers use
+    it to persist results incrementally, so an interrupt loses at most
+    the in-flight cells.  ``on_event(kind, **fields)`` mirrors retry /
+    quarantine decisions into the caller's recorder.  Reports come back
+    indexed by submission order; quarantined cells leave ``None`` and an
+    entry in ``outcome.poisoned``.
     """
     tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1 or not fork_available():
-        return [task.run() for task in tasks]
-    global _TASKS
-    _TASKS = tasks
-    try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-            return pool.map(_run_indexed, range(len(tasks)))
-    finally:
-        _TASKS = None
+    policy = policy or RetryPolicy()
+    outcome = PoolOutcome(reports=[None] * len(tasks))
+    emit = on_event or _noop_event
+    if not tasks:
+        return outcome
+    if jobs <= 1 or not fork_available():
+        return _run_serial(tasks, policy, outcome, on_result, emit)
+    supervisor = _Supervisor(
+        tasks, min(jobs, len(tasks)), policy, outcome, on_result, emit
+    )
+    return supervisor.run()
+
+
+def run_cells(
+    tasks: Sequence[CellTask],
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+) -> list[SimulationReport]:
+    """Simulate every task; returns reports in task order.
+
+    Thin strict wrapper over :func:`run_supervised`: quarantined cells
+    raise :class:`CellExecutionError` (after the rest of the batch has
+    completed) instead of returning partial results.
+    """
+    outcome = run_supervised(tasks, jobs=jobs, policy=policy)
+    if outcome.poisoned:
+        raise CellExecutionError(outcome.poisoned)
+    return outcome.reports

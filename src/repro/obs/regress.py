@@ -23,6 +23,13 @@ GUARDED_METRICS: tuple[tuple[str, bool, str], ...] = (
     ("suite.serial_cold_s", False, "suite serial cold wall clock"),
     ("suite.parallel_cold_s", False, "suite parallel cold wall clock"),
     ("suite.warm_s", False, "suite warm-cache wall clock"),
+    ("suite.parallel_speedup", True, "parallel speedup over serial"),
+)
+
+# Absolute invariants, checked against the *current* run alone — no
+# previous bench file needed.  (dotted path, exclusive floor, description)
+FLOOR_METRICS: tuple[tuple[str, float, str], ...] = (
+    ("suite.parallel_speedup", 1.0, "parallel fan-out must beat serial"),
 )
 
 DEFAULT_THRESHOLD = 0.20
@@ -90,6 +97,61 @@ def compare_bench(
 
 def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
     return [d for d in deltas if d.failed]
+
+
+@dataclass
+class FloorCheck:
+    """One absolute-invariant comparison outcome."""
+
+    metric: str
+    description: str
+    value: float
+    floor: float  # exclusive: value must be strictly greater
+
+    @property
+    def failed(self) -> bool:
+        return self.value <= self.floor
+
+    @property
+    def status(self) -> str:
+        return "BELOW FLOOR" if self.failed else "ok"
+
+
+def check_floors(
+    current: dict,
+    metrics: tuple[tuple[str, float, str], ...] = FLOOR_METRICS,
+) -> list[FloorCheck]:
+    """Evaluate absolute invariants on one bench payload.
+
+    Unlike :func:`compare_bench` this needs no baseline file: a pool
+    slower than serial is wrong on any multi-core machine, first run
+    included.  Metrics missing from the payload are skipped, never
+    failed — as is the parallel-speedup floor when the payload records
+    a single-CPU machine (``cpu_count`` < 2), where beating serial
+    with process fan-out is physically impossible.
+    """
+    cpus = current.get("cpu_count")
+    parallelizable = not isinstance(cpus, int) or cpus >= 2
+    checks: list[FloorCheck] = []
+    for dotted, floor, description in metrics:
+        if dotted == "suite.parallel_speedup" and not parallelizable:
+            continue
+        value = _lookup(current, dotted)
+        if value is None:
+            continue
+        checks.append(
+            FloorCheck(
+                metric=dotted, description=description, value=value, floor=floor
+            )
+        )
+    return checks
+
+
+def floor_rows(checks: list[FloorCheck]) -> list[list[str]]:
+    """Render floor checks as table rows for the CLI."""
+    return [
+        [c.metric, f"> {c.floor:g}", f"{c.value:.4g}", c.status] for c in checks
+    ]
 
 
 def delta_rows(deltas: list[MetricDelta]) -> list[list[str]]:

@@ -58,8 +58,11 @@ def build(name: str, scale: WorkloadScale | None = None) -> Workload:
 
     Generation is deterministic in ``(name, scale)``, so results are
     memoized on disk (see :mod:`repro.exec.tracecache`); a cache hit
-    skips the whole generation pass (R-MAT synthesis is a suite-level
-    hot spot).  Set ``REPRO_DISK_CACHE=0`` to disable.
+    mmaps the stored trace — page-cache shared across worker processes
+    — and skips the whole generation pass (R-MAT synthesis is a
+    suite-level hot spot).  Concurrent builders of the same cell are
+    serialized by a per-key file lock so the trace is generated exactly
+    once.  Set ``REPRO_DISK_CACHE=0`` to disable.
     """
     if name not in FACTORIES:
         raise KeyError(
@@ -75,12 +78,7 @@ def build(name: str, scale: WorkloadScale | None = None) -> Workload:
 
     cache = TraceCache(cache_root())
     key = workload_key(name, scale)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    workload = _build_uncached(name, scale)
-    cache.put(key, workload)
-    return workload
+    return cache.get_or_build(key, lambda: _build_uncached(name, scale))
 
 
 def build_suite(

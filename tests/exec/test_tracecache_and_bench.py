@@ -41,6 +41,29 @@ def cache_dir(monkeypatch, tmp_path):
     return tmp_path / "cache"
 
 
+def _count_builds(counter_path):
+    """Child-process body for the single-builder concurrency test.
+
+    Builds "pr"/TINY through the registry (hitting the shared trace
+    cache) with the real generator wrapped to log one line per actual
+    generation — the flock must collapse four concurrent builders to
+    one.
+    """
+    from repro.workloads import registry
+
+    uncached = registry._build_uncached
+
+    def logging_build(name, scale):
+        workload = uncached(name, scale)
+        with open(counter_path, "a") as f:
+            f.write("built\n")
+        return workload
+
+    registry._build_uncached = logging_build
+    workload = registry.build("pr", TINY)
+    assert len(workload.trace) > 0
+
+
 class TestTraceCache:
     def test_npz_round_trip(self, cache_dir):
         workload = _build_uncached("pr", TINY)
@@ -53,9 +76,16 @@ class TestTraceCache:
 
     def test_registry_build_memoizes(self, cache_dir):
         first = build("pr", TINY)
-        assert any(cache_root().rglob("*.npz"))
+        assert any(cache_root().rglob("meta.json"))
         cached = build("pr", TINY)
         assert_workloads_identical(first, cached)
+
+    def test_cached_trace_is_mmapped_read_only(self, cache_dir):
+        build("pr", TINY)  # populate
+        cached = build("pr", TINY)
+        # Served from the store via mmap: pages are shared read-only
+        # across every process that loads the same entry.
+        assert not cached.trace.addr.flags.writeable
 
     def test_multi_process_merge_round_trips(self, cache_dir):
         scale = TINY.scaled(processes=2, n_cores=4)
@@ -67,13 +97,52 @@ class TestTraceCache:
         )
         assert workload_key("pr", TINY) != workload_key("bfs", TINY)
 
-    def test_corrupt_npz_is_miss(self, cache_dir):
+    def test_corrupt_entry_is_quarantined_miss(self, cache_dir):
         workload = _build_uncached("pr", TINY)
         cache = TraceCache(cache_dir)
         key = workload_key("pr", TINY)
         cache.put(key, workload)
-        cache._path(key).write_bytes(b"not an npz")
+        (cache._dir(key) / "meta.json").write_text("not json")
         assert cache.get(key) is None
+        assert cache.quarantined == 1
+        # The broken entry was moved aside, not left to fail forever.
+        assert not cache._dir(key).exists()
+        assert (cache.root / "quarantine" / key).exists()
+
+    def test_truncated_array_is_quarantined_and_rebuilt(self, cache_dir):
+        build("pr", TINY)  # populate the store
+        # In-memory reference: the cached ``build`` result is mmapped to
+        # the very file we are about to truncate, so comparing against
+        # it would SIGBUS — the whole point of the corruption.
+        expected = _build_uncached("pr", TINY)
+        cache = TraceCache(cache_root())
+        key = workload_key("pr", TINY)
+        path = cache._dir(key) / "addr.npy"
+        path.write_bytes(path.read_bytes()[:100])
+        # The registry recovers transparently: quarantine + rebuild.
+        rebuilt = build("pr", TINY)
+        assert_workloads_identical(expected, rebuilt)
+        assert (cache.root / "quarantine" / key).exists()
+
+    def test_single_builder_under_concurrency(self, cache_dir, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        counter = tmp_path / "builds.log"
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_count_builds, args=(str(counter),))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        # Exactly one of the four concurrent processes generated the
+        # trace; the rest blocked on the lock and mmapped its entry.
+        assert counter.read_text().count("built\n") == 1
 
     def test_disabled_env_skips_disk(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))

@@ -9,14 +9,24 @@ from repro.obs.regress import (
     DEFAULT_THRESHOLD,
     GUARDED_METRICS,
     check_bench,
+    check_floors,
     compare_bench,
     delta_rows,
+    floor_rows,
     load_bench,
     regressions,
 )
 
 
-def bench(aps=1000.0, l1=2.0, serial=10.0, parallel=4.0, warm=0.5, quick=False):
+def bench(
+    aps=1000.0,
+    l1=2.0,
+    serial=10.0,
+    parallel=4.0,
+    warm=0.5,
+    speedup=2.5,
+    quick=False,
+):
     return {
         "quick": quick,
         "engine": {"accesses_per_second": aps, "l1_speedup": l1},
@@ -24,6 +34,7 @@ def bench(aps=1000.0, l1=2.0, serial=10.0, parallel=4.0, warm=0.5, quick=False):
             "serial_cold_s": serial,
             "parallel_cold_s": parallel,
             "warm_s": warm,
+            "parallel_speedup": speedup,
         },
     }
 
@@ -79,6 +90,61 @@ class TestCompare:
         status = {row[0]: row[4] for row in rows}
         assert status["engine.accesses_per_second"] == "REGRESSED"
         assert status["suite.warm_s"] == "ok"
+
+
+class TestFloors:
+    """Absolute invariants need no baseline file at all."""
+
+    def test_speedup_above_floor_passes(self):
+        checks = check_floors(bench(speedup=1.8))
+        assert [c.metric for c in checks] == ["suite.parallel_speedup"]
+        assert not checks[0].failed
+        assert checks[0].status == "ok"
+
+    def test_speedup_at_or_below_floor_fails(self):
+        # The floor is exclusive: exactly 1.0x (no faster than serial)
+        # is a failure, not a pass.
+        assert check_floors(bench(speedup=1.0))[0].failed
+        assert check_floors(bench(speedup=0.8))[0].failed
+        assert check_floors(bench(speedup=0.8))[0].status == "BELOW FLOOR"
+
+    def test_missing_metric_is_skipped(self):
+        assert check_floors({"suite": {}}) == []
+
+    def test_single_cpu_machines_skip_the_parallel_floor(self):
+        # One core cannot beat serial with process fan-out; the floor
+        # only binds where parallelism is physically possible.
+        payload = bench(speedup=0.9)
+        payload["cpu_count"] = 1
+        assert check_floors(payload) == []
+        payload["cpu_count"] = 2
+        assert check_floors(payload)[0].failed
+
+    def test_floor_rows_render(self):
+        rows = floor_rows(check_floors(bench(speedup=0.5)))
+        assert rows[0][0] == "suite.parallel_speedup"
+        assert rows[0][3] == "BELOW FLOOR"
+
+    def test_bench_cli_strict_floor_exits(self, capsys):
+        import argparse
+
+        from repro.exec.bench import _check_floors
+
+        payload = bench(speedup=0.7)
+        args = argparse.Namespace(check_strict=False)
+        _check_floors(payload, args)
+        assert "below floor" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="BELOW FLOOR"):
+            _check_floors(payload, argparse.Namespace(check_strict=True))
+
+    def test_bench_cli_floor_pass_is_quiet(self, capsys):
+        import argparse
+
+        from repro.exec.bench import _check_floors
+
+        _check_floors(bench(speedup=3.0), argparse.Namespace(check_strict=True))
+        out = capsys.readouterr().out
+        assert "BELOW FLOOR" not in out
 
 
 class TestCheckBench:
