@@ -13,6 +13,8 @@ Usage::
     python -m repro stats trace.jsonl [other.jsonl]
     python -m repro dash trace.jsonl --out dash.html [--prom m.prom]
     python -m repro bench [--quick] [--out BENCH.json] [--check PREV.json]
+    python -m repro profile --workload pr --policy ndpext [--perf-out prof.json]
+    python -m repro profile --suite --jobs 4 [--report-out bottleneck.json]
 
 ``--jobs N`` fans uncached simulation cells across N *supervised*
 worker processes: crashed or hung workers are detected, the affected
@@ -47,6 +49,18 @@ same content in Prometheus text format / as a metrics JSON payload.
 ``bench --check PREV.json`` compares the fresh bench against a previous
 one and warns on regressions beyond ``--check-threshold`` (default
 20%); ``--check-strict`` exits non-zero instead of warning.
+
+``profile`` answers *where the simulator's own wall clock goes*: it
+runs one cell (or, with ``--suite``, a small grid fanned through the
+worker pool) against a temporary cache directory so nothing is served
+warm, then writes a Chrome/Perfetto trace-event JSON (``--perf-out``,
+load it at https://ui.perfetto.dev) and prints a bottleneck report —
+engine phases ranked by exclusive time, cache I/O spans, the pool
+critical path, and per-worker utilization.  Do not confuse the two
+trace flags: ``--trace-out`` (on ``run``/``compare``/``trace``) is the
+*semantic* JSONL event trace of the simulated system, consumed by
+``stats`` and ``dash``; ``--perf-out`` is a *performance* trace of the
+simulator process itself, consumed by Perfetto.
 """
 
 from __future__ import annotations
@@ -198,6 +212,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-strict",
         action="store_true",
         help="exit non-zero on regressions instead of warning",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile a cold run: Perfetto perf trace + bottleneck report",
+    )
+    prof_p.add_argument("--workload", default=None, choices=sorted(SUITE))
+    prof_p.add_argument("--policy", default=None, choices=sorted(POLICIES))
+    prof_p.add_argument(
+        "--suite",
+        action="store_true",
+        help="profile the quick suite grid (pr/hotspot x ndpext/nexus) "
+        "through the worker pool instead of a single cell",
+    )
+    prof_p.add_argument(
+        "--perf-out",
+        default="prof.json",
+        help="Chrome/Perfetto trace-event JSON path (default: prof.json); "
+        "this is a performance trace of the simulator itself — load it at "
+        "ui.perfetto.dev — not the semantic JSONL trace of --trace-out",
+    )
+    prof_p.add_argument(
+        "--report-out",
+        default=None,
+        help="also write the bottleneck report as JSON",
     )
 
     dash_p = sub.add_parser(
@@ -386,6 +425,83 @@ def cmd_trace(context: ExperimentContext, args) -> None:
         )
 
 
+def cmd_profile(args) -> None:
+    """Attribute a cold run's wall clock and export a Perfetto trace.
+
+    The run happens inside a throwaway ``REPRO_CACHE_DIR`` so workload
+    generation and simulation actually execute — profiled against a warm
+    cache, the whole run would collapse into one ``cache.report_load``
+    span and the report would say nothing.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.perfreport import (
+        bottleneck_report,
+        render_bottleneck,
+        write_chrome_trace,
+    )
+    from repro.obs.tracing import PerfTracer, activate
+
+    if not args.suite and not (args.workload and args.policy):
+        raise SystemExit(
+            "profile: pass --workload and --policy, or --suite for the grid"
+        )
+    tracer = PerfTracer(process_label="main")
+    base_dir = os.environ.get("REPRO_CACHE_DIR")
+    accesses = 0
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        try:
+            os.environ["REPRO_CACHE_DIR"] = tmp
+            context = ExperimentContext(
+                preset=args.preset,
+                jobs=args.jobs,
+                timeout_s=args.timeout,
+                max_retries=args.max_retries,
+            )
+            with activate(tracer):
+                if args.suite:
+                    cells = [
+                        Cell(wname, pname)
+                        for wname in ("pr", "hotspot")
+                        for pname in ("ndpext", "nexus")
+                    ]
+                    reports = context.run_many(cells)
+                    accesses = sum(
+                        r.hits.total_requests for r in reports if r is not None
+                    )
+                else:
+                    report = context.run(args.workload, args.policy)
+                    accesses = report.hits.total_requests
+        finally:
+            if base_dir is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = base_dir
+    events = write_chrome_trace(
+        tracer,
+        args.perf_out,
+        meta={
+            "preset": args.preset,
+            "jobs": args.jobs,
+            "suite": bool(args.suite),
+            "workload": args.workload,
+            "policy": args.policy,
+        },
+    )
+    print(
+        f"[profile] wrote {args.perf_out} ({events} events) — "
+        "open it at https://ui.perfetto.dev"
+    )
+    prof = bottleneck_report(tracer, accesses=accesses or None)
+    print(render_bottleneck(prof))
+    if args.report_out:
+        from repro.obs.export import write_json
+
+        write_json(args.report_out, prof)
+        print(f"[profile] wrote {args.report_out}")
+
+
 def cmd_stats(args) -> None:
     traces = [read_trace(path) for path in args.trace]
     if len(traces) == 1:
@@ -438,6 +554,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.exec.bench import cmd_bench
 
         cmd_bench(args)
+        return 0
+    if args.command == "profile":
+        # Builds its own context *after* redirecting REPRO_CACHE_DIR,
+        # so the profiled run cannot be served from the user's cache.
+        cmd_profile(args)
         return 0
     context = ExperimentContext(
         preset=args.preset,

@@ -67,9 +67,18 @@ def _grouped_l1_filter(epochs, params, engine_cls):
 
 
 def bench_engine(preset: str, workload_name: str, repeats: int) -> dict:
-    """Throughput of one simulation cell + L1 filter speedup."""
+    """Throughput of one simulation cell + L1 filter speedup.
+
+    The timed runs are untraced (published accesses/s stays the
+    uninstrumented number); one extra traced run afterwards yields the
+    ``phases`` breakdown — exclusive seconds and share of sim wall
+    clock per engine phase — so the perf trajectory across PRs is
+    *attributable*, not just a single scalar.
+    """
     from repro.core import NdpExtPolicy
     from repro.experiments.runner import PRESETS, SCALES
+    from repro.obs.perfreport import phase_summary
+    from repro.obs.tracing import PerfTracer, activate
     from repro.sim import SimulationEngine
     from repro.workloads import SMALL, build
 
@@ -85,6 +94,11 @@ def bench_engine(preset: str, workload_name: str, repeats: int) -> dict:
         )
         sim_times.append(dt)
     best = min(sim_times)
+
+    tracer = PerfTracer(process_label="bench", keep_events=False)
+    with activate(tracer):
+        SimulationEngine(config).run(workload, NdpExtPolicy())
+    phases = phase_summary(tracer)
 
     epochs = workload.trace.epochs(config.epoch_accesses)
     l1_params = config.core.l1d
@@ -106,6 +120,9 @@ def bench_engine(preset: str, workload_name: str, repeats: int) -> dict:
         "l1_legacy_seconds": legacy_dt,
         "l1_grouped_seconds": grouped_dt,
         "l1_speedup": legacy_dt / grouped_dt if grouped_dt else 0.0,
+        "phases": phases["phases"],
+        "phase_sim_wall_s": phases["sim_wall_s"],
+        "phase_coverage": phases["coverage"],
     }
 
 
@@ -223,6 +240,24 @@ def cmd_bench(args) -> None:
             title=f"bench ({'quick' if result['quick'] else 'full'})",
         )
     )
+    top = sorted(
+        engine.get("phases", {}).items(),
+        key=lambda kv: -kv[1]["exclusive_s"],
+    )[:5]
+    if top:
+        print(
+            render_table(
+                ["phase", "excl s", "share of sim wall"],
+                [
+                    [name, f"{row['exclusive_s']:.3f}", f"{row['share']:.1%}"]
+                    for name, row in top
+                ],
+                title=(
+                    "engine phase breakdown "
+                    f"(coverage {engine.get('phase_coverage', 0):.1%})"
+                ),
+            )
+        )
     print(f"[bench] wrote {out}")
     _check_floors(result, args)
     if getattr(args, "check", None):
@@ -252,6 +287,47 @@ def _check_floors(result: dict, args) -> None:
         print(
             f"[bench] warning: below floor: {names} "
             "(warn-only; use --check-strict to fail)"
+        )
+
+
+def _check_phase_shares(result: dict, args) -> None:
+    """Warn when an engine phase's share of sim wall clock shifted.
+
+    Always warn-only (even under ``--check-strict``): a share shift is
+    attribution news — where the time went moved — not by itself a
+    slowdown; the wall-clock metrics gate that.
+    """
+    from repro.obs.regress import (
+        PHASE_SHARE_WARN_PTS,
+        compare_phase_shares,
+        load_bench,
+        phase_share_rows,
+    )
+
+    try:
+        previous = load_bench(args.check)
+    except (OSError, ValueError):
+        return
+    deltas = compare_phase_shares(result, previous)
+    if not deltas:
+        return
+    print(
+        render_table(
+            ["phase", "prev share %", "cur share %", "moved pts", "status"],
+            phase_share_rows(deltas),
+            title=(
+                "engine phase shares vs previous "
+                f"(warn beyond {PHASE_SHARE_WARN_PTS:.0f} pts)"
+            ),
+        )
+    )
+    shifted = [d for d in deltas if d.failed]
+    if shifted:
+        names = ", ".join(d.phase for d in shifted)
+        print(
+            f"[bench] note: phase share moved >"
+            f"{PHASE_SHARE_WARN_PTS:.0f} pts: {names} "
+            "(attribution shift; informational)"
         )
 
 
@@ -285,6 +361,7 @@ def _check_against(result: dict, args) -> None:
             title=f"regression gate vs {args.check} (threshold {threshold:.0%})",
         )
     )
+    _check_phase_shares(result, args)
     if failed:
         names = ", ".join(d.metric for d in failed)
         if strict:

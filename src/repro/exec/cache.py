@@ -37,6 +37,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.obs.tracing import current
 from repro.sim.metrics import SimulationReport
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -228,6 +229,10 @@ class ReportCache:
         self.quarantined += 1
 
     def get(self, key: str) -> SimulationReport | None:
+        with current().span("cache.report_load", cat="io"):
+            return self._get(key)
+
+    def _get(self, key: str) -> SimulationReport | None:
         path = self._path(key)
         try:
             raw = path.read_text()
@@ -264,22 +269,23 @@ class ReportCache:
         return report
 
     def put(self, key: str, report: SimulationReport) -> None:
-        try:
-            payload = report.to_json()
-            entry = {
-                "schema": ENTRY_SCHEMA,
-                "sha256": payload_digest(payload),
-                "report": payload,
-            }
-            blob = json.dumps(entry).encode()
-        except (TypeError, ValueError):
-            # Non-serializable report (e.g. a test double): skip caching
-            # rather than fail the run that produced it.
-            return
-        try:
-            atomic_write_bytes(self._path(key), blob)
-        except OSError:
-            return
+        with current().span("cache.report_write", cat="io"):
+            try:
+                payload = report.to_json()
+                entry = {
+                    "schema": ENTRY_SCHEMA,
+                    "sha256": payload_digest(payload),
+                    "report": payload,
+                }
+                blob = json.dumps(entry).encode()
+            except (TypeError, ValueError):
+                # Non-serializable report (e.g. a test double): skip
+                # caching rather than fail the run that produced it.
+                return
+            try:
+                atomic_write_bytes(self._path(key), blob)
+            except OSError:
+                return
 
 
 def default_report_cache() -> ReportCache | None:

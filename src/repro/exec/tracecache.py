@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.stream import StreamConfig, StreamKind, StreamTable
 from repro.exec.cache import _canonical, code_stamp, fsync_dir
+from repro.obs.tracing import current
 from repro.workloads.trace import Trace, Workload
 
 TRACE_SCHEMA = 2
@@ -154,6 +155,10 @@ class TraceCache:
         self.quarantined += 1
 
     def get(self, key: str, mmap: bool = True) -> Workload | None:
+        with current().span("cache.trace_load", cat="io"):
+            return self._get(key, mmap=mmap)
+
+    def _get(self, key: str, mmap: bool = True) -> Workload | None:
         entry = self._dir(key)
         try:
             raw = (entry / "meta.json").read_text()
@@ -199,6 +204,10 @@ class TraceCache:
         return workload
 
     def put(self, key: str, workload: Workload) -> None:
+        with current().span("cache.trace_write", cat="io"):
+            self._put(key, workload)
+
+    def _put(self, key: str, workload: Workload) -> None:
         entry = self._dir(key)
         tmp = entry.parent / f".build-{key[:16]}-{os.getpid()}"
         try:
@@ -257,13 +266,20 @@ class TraceCache:
         found = self.get(key)
         if found is not None:
             return found
-        with _file_lock(self._lock_path(key)) as locked:
+        tracer = current()
+        with tracer.span("cache.lock_wait", cat="io"):
+            lock = _file_lock(self._lock_path(key))
+            locked = lock.__enter__()
+        try:
             if locked:
                 found = self.get(key)
                 if found is not None:
                     self.lock_waits += 1
                     return found
-            workload = builder()
+            with tracer.span("cache.trace_build", cat="io"):
+                workload = builder()
             self.builds += 1
             self.put(key, workload)
+        finally:
+            lock.__exit__(None, None, None)
         return self.get(key) or workload

@@ -39,6 +39,7 @@ from repro.exec.parallel import (
 )
 from repro.faults import FaultSchedule
 from repro.obs import NullRecorder
+from repro.obs.tracing import current
 from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
 from repro.sim.params import medium, paper_hbm, paper_hmc
 from repro.util import geomean
@@ -204,7 +205,14 @@ class ExperimentContext:
         scale = scale or self.scale
         key = (name, scale)
         if key not in self._workloads:
-            span = (recorder or NullRecorder()).span("workload.build")
+            # The ambient perf tracer wins (profile verb); otherwise the
+            # recorder's profiler keeps its historical span label.
+            tracer = current()
+            span = (
+                tracer.span("workload.build", cat="task")
+                if tracer.enabled
+                else (recorder or NullRecorder()).span("workload.build")
+            )
             with span:
                 self._workloads[key] = build(name, scale)
         return self._workloads[key]
@@ -252,10 +260,11 @@ class ExperimentContext:
         return None
 
     def _store(self, key: str, report: SimulationReport) -> None:
-        self._remember(key, report)
-        disk = self.disk_cache
-        if disk is not None:
-            disk.put(key, report)
+        with current().span("runner.cache_write", cat="io"):
+            self._remember(key, report)
+            disk = self.disk_cache
+            if disk is not None:
+                disk.put(key, report)
 
     def _task(self, cell: Cell, prebuild: bool = True) -> CellTask:
         """Turn a cell into a ready-to-run task.

@@ -11,7 +11,11 @@ Layers (DESIGN.md "Observability" and "Distributional observability"):
   :class:`SpatialAccumulator` / :class:`SpatialReport` — per-unit load
   and the stack-to-stack link-traffic matrix.
 * :class:`SelfProfiler` — perf_counter spans over the simulator's own
-  hot paths (trace generation, L1 filter, policy, DRAM, reconfigure).
+  hot paths (trace generation, L1 filter, policy, DRAM, reconfigure),
+  now an aggregate view over :class:`PerfTracer` — the hierarchical
+  span tracer behind the ``profile`` verb (Perfetto export and the
+  bottleneck report live in :mod:`repro.obs.perfreport`, imported
+  directly to keep this package import-light).
 * Exporters — :func:`prometheus_text` / :func:`json_payload` over a
   report, the ``dash`` HTML renderer, and the bench regression gate in
   :mod:`repro.obs.regress`.
@@ -36,6 +40,16 @@ from repro.obs.recorder import (
 )
 from repro.obs.spatial import SpatialAccumulator, SpatialReport
 from repro.obs.timeline import EpochRecord, Timeline
+from repro.obs.tracing import (
+    ENGINE_PHASES,
+    NULL_TRACER,
+    NullTracer,
+    PerfTracer,
+    SpanAgg,
+    SpanEvent,
+    activate,
+    current,
+)
 from repro.obs.traceio import (
     TraceFile,
     diff_rows,
@@ -47,14 +61,22 @@ from repro.obs.traceio import (
 
 __all__ = [
     "BUCKET_SCHEME",
+    "ENGINE_PHASES",
+    "NULL_TRACER",
     "SCHEMA_VERSION",
     "TIERS",
     "EpochRecord",
     "LatencyHistogram",
     "NullRecorder",
+    "NullTracer",
+    "PerfTracer",
     "Recorder",
     "SelfProfiler",
+    "SpanAgg",
+    "SpanEvent",
     "SpanStats",
+    "activate",
+    "current",
     "SpatialAccumulator",
     "SpatialReport",
     "TierHistogramSet",

@@ -2,19 +2,22 @@
 
 The simulator models nanoseconds, but its own runtime is spent in very
 different places — trace generation, L1 filtering, ``policy.process``,
-DRAM timing, the reconfiguration solve.  :class:`SelfProfiler`
-accumulates ``time.perf_counter`` spans per label so a run can report
-its own hot paths; ROADMAP perf work starts from this table.
+DRAM timing, the reconfiguration solve.  :class:`SelfProfiler` is now a
+thin *aggregate view* over a :class:`~repro.obs.tracing.PerfTracer`:
+the tracer owns all timing (span nesting, exact per-label totals), and
+this class keeps the historical ``spans`` / ``add`` / ``summary()``
+surface that the recorder, runner, and `trace` verb consume.
 
-Spans nest: a label's total includes time spent in spans opened inside
-it, so the table is read as an inclusive-time profile (the labels are
-chosen to be non-overlapping siblings in practice).
+Totals remain *inclusive* (a label's total includes child-span time),
+matching the pre-tracer behavior; exclusive-time attribution lives in
+:mod:`repro.obs.perfreport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from time import perf_counter
+from dataclasses import dataclass
+
+from repro.obs.tracing import PerfTracer
 
 
 @dataclass
@@ -29,45 +32,37 @@ class SpanStats:
         return self.total_s / self.calls if self.calls else 0.0
 
 
-class _Span:
-    """One open span; created by :meth:`SelfProfiler.span`."""
-
-    __slots__ = ("_stats", "_t0")
-
-    def __init__(self, stats: SpanStats) -> None:
-        self._stats = stats
-        self._t0 = 0.0
-
-    def __enter__(self) -> "_Span":
-        self._t0 = perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._stats.calls += 1
-        self._stats.total_s += perf_counter() - self._t0
-
-
-@dataclass
 class SelfProfiler:
-    """Accumulates perf_counter spans keyed by label."""
+    """Aggregate profile view over a tracer.
 
-    spans: dict[str, SpanStats] = field(default_factory=dict)
+    With no ``tracer`` argument a private aggregates-only
+    :class:`PerfTracer` is created (no per-occurrence events — the same
+    cost profile as the old accumulator).  Passing a shared tracer
+    makes recorder spans land in the same profile as engine phase
+    spans, so one `profile` run yields one merged attribution table.
+    """
 
-    def span(self, label: str) -> _Span:
-        stats = self.spans.get(label)
-        if stats is None:
-            stats = self.spans[label] = SpanStats()
-        return _Span(stats)
+    def __init__(self, tracer: PerfTracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else PerfTracer(keep_events=False)
+
+    def span(self, label: str):
+        return self.tracer.span(label)
 
     def add(self, label: str, seconds: float, calls: int = 1) -> None:
         """Fold an externally measured duration into the profile."""
-        stats = self.spans.setdefault(label, SpanStats())
-        stats.calls += calls
-        stats.total_s += seconds
+        self.tracer.add_external(label, int(seconds * 1e9), calls=calls)
+
+    @property
+    def spans(self) -> dict[str, SpanStats]:
+        """Label → inclusive stats, built from the tracer's aggregates."""
+        return {
+            name: SpanStats(calls=agg.calls, total_s=agg.total_s)
+            for name, agg in self.tracer.aggregates.items()
+        }
 
     @property
     def total_s(self) -> float:
-        return sum(s.total_s for s in self.spans.values())
+        return self.tracer.total_s
 
     def summary(self) -> list[dict]:
         """JSON-able rows, slowest label first."""

@@ -93,12 +93,14 @@ class Recorder(NullRecorder):
 
     enabled = True
 
-    def __init__(self, **meta) -> None:
+    def __init__(self, tracer=None, **meta) -> None:
         self.meta = dict(meta)
         self.events: list[dict] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        self.profiler = SelfProfiler()
+        # Span timing is delegated to a PerfTracer; passing a shared one
+        # merges recorder spans into an ambient perf trace (profile verb).
+        self.profiler = SelfProfiler(tracer=tracer)
         self._seq = 0
 
     # ------------------------------------------------------------------

@@ -34,6 +34,19 @@ FLOOR_METRICS: tuple[tuple[str, float, str], ...] = (
 
 DEFAULT_THRESHOLD = 0.20
 
+# Per-metric warn thresholds tighter than the global/CLI one (the gate
+# applies the *stricter* of the two).  l1_speedup is pinned hard: it
+# drifted 1.16x -> 1.01x between PR 3 and PR 5 without tripping the 20%
+# default — a 10% leash catches that class of silent decay.
+METRIC_THRESHOLDS: dict[str, float] = {
+    "engine.l1_speedup": 0.10,
+}
+
+# Engine phase *shares* (exclusive time / sim wall clock) are compared
+# in percentage points; a shift this large means the simulator's cost
+# structure changed and the attribution in past PRs no longer holds.
+PHASE_SHARE_WARN_PTS = 10.0
+
 
 @dataclass
 class MetricDelta:
@@ -89,7 +102,9 @@ def compare_bench(
                 previous=prev,
                 current=cur,
                 regression=regression,
-                threshold=threshold,
+                threshold=min(
+                    threshold, METRIC_THRESHOLDS.get(dotted, threshold)
+                ),
             )
         )
     return deltas
@@ -97,6 +112,75 @@ def compare_bench(
 
 def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
     return [d for d in deltas if d.failed]
+
+
+@dataclass
+class PhaseShareDelta:
+    """How one engine phase's share of sim wall clock moved."""
+
+    phase: str
+    previous_pts: float  # shares as percentage points (0-100)
+    current_pts: float
+    threshold_pts: float
+
+    @property
+    def moved_pts(self) -> float:
+        return self.current_pts - self.previous_pts
+
+    @property
+    def failed(self) -> bool:
+        return abs(self.moved_pts) > self.threshold_pts
+
+    @property
+    def status(self) -> str:
+        return "SHIFTED" if self.failed else "ok"
+
+
+def compare_phase_shares(
+    current: dict,
+    previous: dict,
+    threshold_pts: float = PHASE_SHARE_WARN_PTS,
+) -> list[PhaseShareDelta]:
+    """Diff the engine phase breakdown between two bench payloads.
+
+    Reads ``engine.phases.<name>.share`` from both; a phase present in
+    only one payload is compared against 0 (a phase appearing at 15% of
+    the wall clock is exactly the kind of shift this exists to flag).
+    Always warn-only: a share shift is attribution news, not by itself
+    a regression — the wall-clock metrics above gate that.
+    """
+    cur_phases = (current.get("engine") or {}).get("phases") or {}
+    prev_phases = (previous.get("engine") or {}).get("phases") or {}
+    if not cur_phases and not prev_phases:
+        return []
+    deltas = []
+    for name in sorted(set(cur_phases) | set(prev_phases)):
+        cur_share = float((cur_phases.get(name) or {}).get("share", 0.0))
+        prev_share = float((prev_phases.get(name) or {}).get("share", 0.0))
+        deltas.append(
+            PhaseShareDelta(
+                phase=name,
+                previous_pts=prev_share * 100.0,
+                current_pts=cur_share * 100.0,
+                threshold_pts=threshold_pts,
+            )
+        )
+    deltas.sort(key=lambda d: -abs(d.moved_pts))
+    return deltas
+
+
+def phase_share_rows(deltas: list[PhaseShareDelta]) -> list[list[str]]:
+    """Render phase-share comparisons as table rows for the CLI."""
+    return [
+        [
+            d.phase,
+            f"{d.previous_pts:.1f}",
+            f"{d.current_pts:.1f}",
+            f"{d.moved_pts:+.1f}",
+            d.status,
+        ]
+        for d in deltas
+    ]
 
 
 @dataclass

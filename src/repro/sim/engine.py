@@ -30,6 +30,7 @@ from repro.obs.histogram import TIERS, TierHistogramSet
 from repro.obs.recorder import NullRecorder
 from repro.obs.spatial import SpatialAccumulator
 from repro.obs.timeline import EpochRecord, Timeline
+from repro.obs.tracing import NULL_TRACER, current
 from repro.sim.cachesim import _prev_in_group
 from repro.sim.cxl import ExtendedMemory
 from repro.sim.dram import DramModel
@@ -186,6 +187,7 @@ class SimulationEngine:
         self._ext_accesses = 0
         self._ext_lane_accesses: dict[int, int] = {}
         self._inter_stack_bytes = 0
+        self._tracer = NULL_TRACER
         # Distributional/spatial observers; only constructed (in run) when
         # a live recorder is attached, so the null-recorder path performs
         # no tier classification or scatter-adds at all.
@@ -194,8 +196,22 @@ class SimulationEngine:
 
     def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
         recorder = self.recorder
+        # Phase attribution target: the ambient perf tracer when one is
+        # active (`profile` verb, traced bench), else the recorder's
+        # profiler tracer so legacy `trace` output keeps its span table,
+        # else the shared no-op.  Spans never touch simulation state, so
+        # outputs are bit-identical whichever target is live.
+        tracer = current()
+        if not tracer.enabled and recorder.enabled:
+            tracer = recorder.profiler.tracer
+        self._tracer = tracer
         policy.bind_recorder(recorder)
-        with recorder.span("policy.setup"):
+        with tracer.span("engine.run"):
+            return self._run(workload, policy, tracer)
+
+    def _run(self, workload, policy, tracer) -> SimulationReport:
+        recorder = self.recorder
+        with tracer.span("policy.setup"):
             policy.setup(self.config, self.topology, workload)
         # Per-sid affine flag for the prefetch-overlap (MLP) model.
         max_sid = max((s.sid for s in workload.streams), default=-1)
@@ -243,149 +259,159 @@ class SimulationEngine:
             self._obs_spatial = None
 
         for epoch_idx, epoch in enumerate(epochs):
-            events = None
-            epoch_movements = 0
-            epoch_invalidations = 0
-            if recorder.enabled:
-                # Snapshot the accumulators so this epoch's deltas can be
-                # attributed to one timeline record.
-                prev_hits = replace(hits)
-                prev_breakdown = replace(breakdown)
-                prev_energy = replace(energy)
-                prev_ext = self._ext_accesses
-                prev_inter = self._inter_stack_bytes
-                prev_demoted = (
-                    self.fault_state.report.demoted_requests
-                    if self.fault_state is not None
-                    else 0
-                )
-            if self.fault_state is not None:
-                events = self.fault_state.advance(epoch_idx)
-                self.extended.effective_lanes = self.fault_state.effective_lanes
-                if not events.empty:
-                    with recorder.span("policy.on_faults"):
-                        fstats = policy.on_faults(
-                            epoch_idx, events, self.fault_state
+            with tracer.span("engine.epoch", epoch=epoch_idx):
+                events = None
+                epoch_movements = 0
+                epoch_invalidations = 0
+                if recorder.enabled:
+                    # Snapshot the accumulators so this epoch's deltas can be
+                    # attributed to one timeline record.
+                    with tracer.span("engine.observability"):
+                        prev_hits = replace(hits)
+                        prev_breakdown = replace(breakdown)
+                        prev_energy = replace(energy)
+                        prev_ext = self._ext_accesses
+                        prev_inter = self._inter_stack_bytes
+                        prev_demoted = (
+                            self.fault_state.report.demoted_requests
+                            if self.fault_state is not None
+                            else 0
                         )
-                    epoch_movements += fstats.movements
-                    epoch_invalidations += fstats.invalidations
-                    self.fault_state.report.fault_movements += fstats.movements
-                    self.fault_state.report.fault_invalidations += (
-                        fstats.invalidations
+                if self.fault_state is not None:
+                    with tracer.span("engine.fault_hooks"):
+                        events = self.fault_state.advance(epoch_idx)
+                        self.extended.effective_lanes = (
+                            self.fault_state.effective_lanes
+                        )
+                        if not events.empty:
+                            with tracer.span("policy.on_faults"):
+                                fstats = policy.on_faults(
+                                    epoch_idx, events, self.fault_state
+                                )
+                            epoch_movements += fstats.movements
+                            epoch_invalidations += fstats.invalidations
+                            self.fault_state.report.fault_movements += (
+                                fstats.movements
+                            )
+                            self.fault_state.report.fault_invalidations += (
+                                fstats.invalidations
+                            )
+                with tracer.span("policy.begin_epoch"):
+                    stats = policy.begin_epoch(epoch_idx)
+                epoch_movements += stats.movements
+                epoch_invalidations += stats.invalidations
+                movements += epoch_movements
+                invalidations += epoch_invalidations
+
+                with tracer.span("engine.l1_filter"):
+                    post_l1, l1_result = self._l1_filter(
+                        epoch, order=core_orders[epoch_idx]
                     )
-            with recorder.span("policy.begin_epoch"):
-                stats = policy.begin_epoch(epoch_idx)
-            epoch_movements += stats.movements
-            epoch_invalidations += stats.invalidations
-            movements += epoch_movements
-            invalidations += epoch_invalidations
+                    hits.l1_hits += l1_result["hits"]
+                    l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
+                    breakdown.sram_ns += l1_ns
+                    energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ / L1 access
+                    np.add.at(core_accesses, epoch.core, 1)
+                    np.add.at(
+                        core_stall_ns,
+                        epoch.core[l1_result["mask"]],
+                        self.config.core.l1d.hit_ns,
+                    )
 
-            with recorder.span("engine.l1_filter"):
-                post_l1, l1_result = self._l1_filter(
-                    epoch, order=core_orders[epoch_idx]
-                )
-            hits.l1_hits += l1_result["hits"]
-            l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
-            breakdown.sram_ns += l1_ns
-            energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ per L1 access
+                if len(post_l1):
+                    with tracer.span("policy.process"):
+                        outcome = policy.process(post_l1)
+                    if self.fault_state is not None and self.fault_state.degraded:
+                        self.fault_state.demote(outcome)
+                    with tracer.span("engine.charge"):
+                        # Per-epoch invariants every charge/queue step needs,
+                        # computed once instead of once per consumer.
+                        core_unit = (
+                            post_l1.core.astype(np.int64) % self.config.n_units
+                        )
+                        in_stream = post_l1.sid >= 0
+                        affine = (
+                            self._sid_affine[
+                                np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
+                            ]
+                            & in_stream
+                        )
+                        epoch_stall, ext_mask, n_ext = self._charge(
+                            post_l1,
+                            outcome,
+                            breakdown,
+                            energy,
+                            hits,
+                            core_unit=core_unit,
+                            in_stream=in_stream,
+                            affine=affine,
+                        )
+                    with tracer.span("engine.queueing"):
+                        queue_ns = self._queueing_delay(
+                            post_l1,
+                            epoch_stall,
+                            ext_mask,
+                            workload,
+                            unit=core_unit,
+                            n_ext=n_ext,
+                        )
+                        if queue_ns > 0:
+                            observed = np.full(len(post_l1), queue_ns)
+                            observed[affine] /= AFFINE_MLP
+                            observed[in_stream & ~affine] /= self.config.indirect_mlp
+                            epoch_stall[ext_mask] += observed[ext_mask]
+                            breakdown.extended_ns += queue_ns * n_ext
+                        np.add.at(core_stall_ns, post_l1.core, epoch_stall)
+                else:
+                    outcome = None
 
-            np.add.at(core_accesses, epoch.core, 1)
-            np.add.at(
-                core_stall_ns,
-                epoch.core[l1_result["mask"]],
-                self.config.core.l1d.hit_ns,
+                if outcome is not None:
+                    with tracer.span("policy.end_epoch"):
+                        policy.end_epoch(epoch_idx, post_l1, outcome)
+                with tracer.span("engine.runtime_model"):
+                    per_epoch_cycles.append(
+                        self._runtime_cycles(core_stall_ns, core_accesses, workload)
+                    )
+
+                if recorder.enabled:
+                    with tracer.span("engine.observability"):
+                        self._append_epoch_record(
+                            timeline,
+                            recorder,
+                            epoch_idx=epoch_idx,
+                            epoch=epoch,
+                            post_l1=post_l1,
+                            hits=hits - prev_hits,
+                            breakdown=breakdown - prev_breakdown,
+                            energy=energy - prev_energy,
+                            ext_delta=self._ext_accesses - prev_ext,
+                            inter_delta=self._inter_stack_bytes - prev_inter,
+                            prev_demoted=prev_demoted,
+                            epoch_movements=epoch_movements,
+                            epoch_invalidations=epoch_invalidations,
+                            events=events,
+                            cycles_total=per_epoch_cycles[-1],
+                        )
+
+        with tracer.span("engine.runtime_model"):
+            runtime_cycles = self._runtime_cycles(
+                core_stall_ns, core_accesses, workload
             )
-
-            if len(post_l1):
-                with recorder.span("policy.process"):
-                    outcome = policy.process(post_l1)
-                if self.fault_state is not None and self.fault_state.degraded:
-                    self.fault_state.demote(outcome)
-                # Per-epoch invariants every charge/queue step needs,
-                # computed once instead of once per consumer.
-                core_unit = post_l1.core.astype(np.int64) % self.config.n_units
-                in_stream = post_l1.sid >= 0
-                affine = (
-                    self._sid_affine[
-                        np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
-                    ]
-                    & in_stream
-                )
-                with recorder.span("engine.charge"):
-                    epoch_stall, ext_mask, n_ext = self._charge(
-                        post_l1,
-                        outcome,
-                        breakdown,
-                        energy,
-                        hits,
-                        core_unit=core_unit,
-                        in_stream=in_stream,
-                        affine=affine,
-                    )
-                queue_ns = self._queueing_delay(
-                    post_l1,
-                    epoch_stall,
-                    ext_mask,
-                    workload,
-                    unit=core_unit,
-                    n_ext=n_ext,
-                )
-                if queue_ns > 0:
-                    observed = np.full(len(post_l1), queue_ns)
-                    observed[affine] /= AFFINE_MLP
-                    observed[in_stream & ~affine] /= self.config.indirect_mlp
-                    epoch_stall[ext_mask] += observed[ext_mask]
-                    breakdown.extended_ns += queue_ns * n_ext
-                np.add.at(core_stall_ns, post_l1.core, epoch_stall)
-            else:
-                outcome = None
-
-            if outcome is not None:
-                with recorder.span("policy.end_epoch"):
-                    policy.end_epoch(epoch_idx, post_l1, outcome)
-            per_epoch_cycles.append(self._runtime_cycles(core_stall_ns, core_accesses, workload))
-
-            if recorder.enabled:
-                record = EpochRecord(
-                    epoch=epoch_idx,
-                    requests=len(epoch),
-                    post_l1_requests=len(post_l1),
-                    hits=hits - prev_hits,
-                    breakdown=breakdown - prev_breakdown,
-                    energy=energy - prev_energy,
-                    ext_accesses=self._ext_accesses - prev_ext,
-                    ext_bytes=(self._ext_accesses - prev_ext) * CACHELINE_BYTES,
-                    inter_stack_bytes=self._inter_stack_bytes - prev_inter,
-                    effective_lanes=self.extended.effective_lanes,
-                    reconfig_movements=epoch_movements,
-                    reconfig_invalidations=epoch_invalidations,
-                    fault_units=len(events.unit_failures) if events else 0,
-                    fault_rows=len(events.row_faults) if events else 0,
-                    demoted_requests=(
-                        self.fault_state.report.demoted_requests - prev_demoted
-                        if self.fault_state is not None
-                        else 0
-                    ),
-                    cycles_total=per_epoch_cycles[-1],
-                )
-                timeline.append(record)
-                recorder.event("epoch", **record.to_json())
-
-        runtime_cycles = self._runtime_cycles(core_stall_ns, core_accesses, workload)
         runtime_ns = runtime_cycles * self.config.core.cycle_ns
         energy.static_nj += STATIC_W_PER_UNIT * self.config.n_units * runtime_ns
         tier_histograms = None
         spatial = None
         if recorder.enabled:
-            recorder.gauge("engine.runtime_cycles", runtime_cycles)
-            recorder.gauge("engine.static_nj", energy.static_nj)
-            recorder.counter("engine.epochs", len(per_epoch_cycles))
-            tier_histograms = self._obs_hist.histograms()
-            spatial = self._obs_spatial.to_report()
-            for tier_name, hist in tier_histograms.items():
-                recorder.event("histogram", tier=tier_name, **hist.to_json())
-            recorder.event("spatial", **spatial.to_json())
-            recorder.gauge("engine.load_imbalance", spatial.load_imbalance)
+            with tracer.span("engine.observability"):
+                recorder.gauge("engine.runtime_cycles", runtime_cycles)
+                recorder.gauge("engine.static_nj", energy.static_nj)
+                recorder.counter("engine.epochs", len(per_epoch_cycles))
+                tier_histograms = self._obs_hist.histograms()
+                spatial = self._obs_spatial.to_report()
+                for tier_name, hist in tier_histograms.items():
+                    recorder.event("histogram", tier=tier_name, **hist.to_json())
+                recorder.event("spatial", **spatial.to_json())
+                recorder.gauge("engine.load_imbalance", spatial.load_imbalance)
 
         return SimulationReport(
             policy=policy.name,
@@ -402,6 +428,51 @@ class SimulationEngine:
             tier_histograms=tier_histograms,
             spatial=spatial,
         )
+
+    def _append_epoch_record(
+        self,
+        timeline,
+        recorder,
+        *,
+        epoch_idx,
+        epoch,
+        post_l1,
+        hits,
+        breakdown,
+        energy,
+        ext_delta,
+        inter_delta,
+        prev_demoted,
+        epoch_movements,
+        epoch_invalidations,
+        events,
+        cycles_total,
+    ) -> None:
+        """Build and record one epoch's timeline row (recorded runs only)."""
+        record = EpochRecord(
+            epoch=epoch_idx,
+            requests=len(epoch),
+            post_l1_requests=len(post_l1),
+            hits=hits,
+            breakdown=breakdown,
+            energy=energy,
+            ext_accesses=ext_delta,
+            ext_bytes=ext_delta * CACHELINE_BYTES,
+            inter_stack_bytes=inter_delta,
+            effective_lanes=self.extended.effective_lanes,
+            reconfig_movements=epoch_movements,
+            reconfig_invalidations=epoch_invalidations,
+            fault_units=len(events.unit_failures) if events else 0,
+            fault_rows=len(events.row_faults) if events else 0,
+            demoted_requests=(
+                self.fault_state.report.demoted_requests - prev_demoted
+                if self.fault_state is not None
+                else 0
+            ),
+            cycles_total=cycles_total,
+        )
+        timeline.append(record)
+        recorder.event("epoch", **record.to_json())
 
     def _runtime_cycles(
         self,
@@ -629,64 +700,73 @@ class SimulationEngine:
         self._inter_stack_bytes += int(crosses.sum()) * (msg_bits // 8) * 2
 
         # --- NDP DRAM: hits and in-DRAM miss probes, row-buffer aware. ---
-        touches = cached & (hit | outcome.miss_probe_dram)
-        dram_ns = np.zeros(n)
-        if touches.any():
-            # Row-buffer state is per unit; build a composite bank id of
-            # (unit, bank-of-row) so one vectorised pass covers all units.
-            rows = outcome.local_row[touches]
-            units = serving[touches]
-            banks = units * self.config.ndp_dram.banks + (
-                rows % self.config.ndp_dram.banks
-            )
-            prev_idx, prev_row = _prev_in_group(banks, rows)
-            row_hit = (prev_idx >= 0) & (prev_row == rows)
-            timing = self.config.ndp_dram
-            dram_ns[touches] = np.where(
-                row_hit, timing.row_hit_ns, timing.row_miss_ns
-            )
-            energy.ndp_dram_nj += self.ndp_dram.energy_nj(row_hit)
-        breakdown.dram_ns += float(dram_ns.sum())
+        tracer = self._tracer
+        with tracer.span("engine.dram_charge"):
+            touches = cached & (hit | outcome.miss_probe_dram)
+            dram_ns = np.zeros(n)
+            if touches.any():
+                # Row-buffer state is per unit; build a composite bank id
+                # of (unit, bank-of-row) so one vectorised pass covers
+                # all units.
+                rows = outcome.local_row[touches]
+                units = serving[touches]
+                banks = units * self.config.ndp_dram.banks + (
+                    rows % self.config.ndp_dram.banks
+                )
+                prev_idx, prev_row = _prev_in_group(banks, rows)
+                row_hit = (prev_idx >= 0) & (prev_row == rows)
+                timing = self.config.ndp_dram
+                dram_ns[touches] = np.where(
+                    row_hit, timing.row_hit_ns, timing.row_miss_ns
+                )
+                energy.ndp_dram_nj += self.ndp_dram.energy_nj(row_hit)
+            breakdown.dram_ns += float(dram_ns.sum())
 
         # --- Misses: CXL + DDR5, plus NoC from home unit to the CXL port. ---
-        miss = cached & ~hit
-        bypass = ~cached
-        goes_ext = miss | bypass
-        n_ext = int(np.count_nonzero(goes_ext))
-        ext_ns = np.zeros(n)
-        ext_latency_total = 0.0
-        origin = None
-        if n_ext:
-            port = self.options.cxl_port_unit
-            ext_result = self.extended.access(trace.addr[goes_ext])
-            ext_ns[goes_ext] = ext_result.latency_ns
-            ext_latency_total = float(ext_result.latency_ns.sum())
-            # Home unit forwards the miss to the CXL port; the response
-            # returns to the requesting core.  Bypass requests go directly
-            # from the core to the port.
-            origin = np.where(miss, serving_clip, core_unit)[goes_ext]
-            to_port = self.topology.latency_ns[origin, port]
-            from_port = self.topology.latency_ns[port, core_unit[goes_ext]]
-            ext_ns[goes_ext] += to_port + from_port
-            breakdown.inter_noc_ns += float((to_port + from_port).sum())
-            energy.cxl_nj += ext_result.link_energy_nj
-            energy.ext_dram_nj += ext_result.dram_energy_nj
-            if self.fault_state is not None:
-                fault_ns = self.fault_state.cxl_penalty_ns(n_ext, self.extended)
-                if fault_ns is not None:
-                    ext_ns[goes_ext] += fault_ns
-                    ext_latency_total += float(fault_ns.sum())
-            self._ext_accesses += n_ext
-            lanes_now = self.extended.effective_lanes
-            self._ext_lane_accesses[lanes_now] = (
-                self._ext_lane_accesses.get(lanes_now, 0) + n_ext
-            )
-            # Fill energy: the fetched line is written into the home unit.
-            fills = int(miss.sum())
-            energy.ndp_dram_nj += fills * self.config.ndp_dram.access_energy_nj(
-                CACHELINE_BYTES, row_miss=True
-            )
-        breakdown.extended_ns += ext_latency_total
+        with tracer.span("engine.cxl_charge"):
+            miss = cached & ~hit
+            bypass = ~cached
+            goes_ext = miss | bypass
+            n_ext = int(np.count_nonzero(goes_ext))
+            ext_ns = np.zeros(n)
+            ext_latency_total = 0.0
+            origin = None
+            if n_ext:
+                port = self.options.cxl_port_unit
+                ext_result = self.extended.access(trace.addr[goes_ext])
+                ext_ns[goes_ext] = ext_result.latency_ns
+                ext_latency_total = float(ext_result.latency_ns.sum())
+                # Home unit forwards the miss to the CXL port; the
+                # response returns to the requesting core.  Bypass
+                # requests go directly from the core to the port.
+                origin = np.where(miss, serving_clip, core_unit)[goes_ext]
+                to_port = self.topology.latency_ns[origin, port]
+                from_port = self.topology.latency_ns[port, core_unit[goes_ext]]
+                ext_ns[goes_ext] += to_port + from_port
+                breakdown.inter_noc_ns += float((to_port + from_port).sum())
+                energy.cxl_nj += ext_result.link_energy_nj
+                energy.ext_dram_nj += ext_result.dram_energy_nj
+                if self.fault_state is not None:
+                    fault_ns = self.fault_state.cxl_penalty_ns(
+                        n_ext, self.extended
+                    )
+                    if fault_ns is not None:
+                        ext_ns[goes_ext] += fault_ns
+                        ext_latency_total += float(fault_ns.sum())
+                self._ext_accesses += n_ext
+                lanes_now = self.extended.effective_lanes
+                self._ext_lane_accesses[lanes_now] = (
+                    self._ext_lane_accesses.get(lanes_now, 0) + n_ext
+                )
+                # Fill energy: the fetched line is written into the home
+                # unit.
+                fills = int(miss.sum())
+                energy.ndp_dram_nj += fills * (
+                    self.config.ndp_dram.access_energy_nj(
+                        CACHELINE_BYTES, row_miss=True
+                    )
+                )
+            breakdown.extended_ns += ext_latency_total
 
         # Metadata DRAM accesses consume DRAM energy too.
         energy.ndp_dram_nj += (
@@ -702,24 +782,25 @@ class SimulationEngine:
             # latency (metadata + NoC + DRAM + extended) before the
             # MLP overlap division — the Fig. 2(a) notion of access
             # latency, histogrammed by serving tier.
-            tier = np.full(n, TIER_EXTENDED, dtype=np.int64)
-            local = hit & (serving == core_unit)
-            remote = hit & ~local
-            tier[local] = TIER_LOCAL
-            tier[remote & (inter_hops == 0)] = TIER_INTRA
-            tier[remote & (inter_hops > 0)] = TIER_INTER
-            self._obs_hist.observe(tier, stall)
-            self._obs_spatial.observe_epoch(
-                core_unit=core_unit,
-                serving=serving,
-                hit=hit,
-                touches=touches,
-                dram_ns=dram_ns,
-                goes_ext=goes_ext,
-                origin=origin,
-                port_unit=self.options.cxl_port_unit,
-                round_trip_bytes=2 * (CACHELINE_BYTES + 2 * HEADER_BYTES),
-            )
+            with tracer.span("engine.observability"):
+                tier = np.full(n, TIER_EXTENDED, dtype=np.int64)
+                local = hit & (serving == core_unit)
+                remote = hit & ~local
+                tier[local] = TIER_LOCAL
+                tier[remote & (inter_hops == 0)] = TIER_INTRA
+                tier[remote & (inter_hops > 0)] = TIER_INTER
+                self._obs_hist.observe(tier, stall)
+                self._obs_spatial.observe_epoch(
+                    core_unit=core_unit,
+                    serving=serving,
+                    hit=hit,
+                    touches=touches,
+                    dram_ns=dram_ns,
+                    goes_ext=goes_ext,
+                    origin=origin,
+                    port_unit=self.options.cxl_port_unit,
+                    round_trip_bytes=2 * (CACHELINE_BYTES + 2 * HEADER_BYTES),
+                )
 
         # Prefetch overlap: affine accesses expose memory-level
         # parallelism, so the core observes only 1/AFFINE_MLP of their

@@ -142,6 +142,51 @@ class TestTraceCommands:
         with pytest.raises(SystemExit):
             main(["stats", str(path), str(path), str(path)])
 
+    def test_profile_command(self, tmp_path, capsys):
+        perf_path = tmp_path / "prof.json"
+        report_path = tmp_path / "bottleneck.json"
+        assert main([
+            "--preset", "tiny", "profile",
+            "--workload", "pr", "--policy", "ndpext",
+            "--perf-out", str(perf_path),
+            "--report-out", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine phases by exclusive time" in out
+        assert "ui.perfetto.dev" in out
+
+        # The perf trace is Perfetto-loadable JSON naming every engine
+        # phase; the bottleneck report carries the coverage invariant.
+        from repro.obs.tracing import ENGINE_PHASES
+
+        payload = json.loads(perf_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert set(ENGINE_PHASES) <= names
+        assert all(
+            e["ph"] in ("X", "i", "M") for e in payload["traceEvents"]
+        )
+        prof = json.loads(report_path.read_text())
+        assert prof["coverage"] >= 0.95
+        assert prof["top_phases"]
+        assert prof["accesses"] > 0
+
+    def test_profile_requires_cell_or_suite(self):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["--preset", "tiny", "profile"])
+
+    def test_profile_restores_cache_dir(self, monkeypatch, tmp_path):
+        # The throwaway profiling cache must not leak into the
+        # environment the caller set up.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "mine"))
+        assert main([
+            "--preset", "tiny", "profile",
+            "--workload", "pr", "--policy", "ndpext-static",
+            "--perf-out", str(tmp_path / "p.json"),
+        ]) == 0
+        import os
+
+        assert os.environ["REPRO_CACHE_DIR"] == str(tmp_path / "mine")
+
     def test_run_trace_out(self, tmp_path, capsys):
         trace_path = tmp_path / "run.jsonl"
         assert main([

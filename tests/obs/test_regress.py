@@ -8,12 +8,16 @@ import pytest
 from repro.obs.regress import (
     DEFAULT_THRESHOLD,
     GUARDED_METRICS,
+    METRIC_THRESHOLDS,
+    PHASE_SHARE_WARN_PTS,
     check_bench,
     check_floors,
     compare_bench,
+    compare_phase_shares,
     delta_rows,
     floor_rows,
     load_bench,
+    phase_share_rows,
     regressions,
 )
 
@@ -90,6 +94,109 @@ class TestCompare:
         status = {row[0]: row[4] for row in rows}
         assert status["engine.accesses_per_second"] == "REGRESSED"
         assert status["suite.warm_s"] == "ok"
+
+
+class TestMetricThresholds:
+    """Per-metric leashes tighter than the global threshold."""
+
+    def test_l1_speedup_has_a_ten_percent_leash(self):
+        # The exact drift that motivated the override: 1.16x -> 1.01x
+        # is a 14.9% regression — under the 20% default it passed
+        # silently; the 10% leash catches it.
+        deltas = compare_bench(bench(l1=1.01), bench(l1=1.16))
+        by_name = {d.metric: d for d in deltas}
+        delta = by_name["engine.l1_speedup"]
+        assert delta.threshold == pytest.approx(0.10)
+        assert delta.regression == pytest.approx(1.16 / 1.01 - 1.0)
+        assert delta.failed
+
+    def test_override_never_loosens_the_cli_threshold(self):
+        # A user-tightened global threshold (5%) beats the 10% override.
+        deltas = compare_bench(bench(l1=1.08), bench(l1=1.16), threshold=0.05)
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["engine.l1_speedup"].threshold == pytest.approx(0.05)
+        assert by_name["engine.l1_speedup"].failed
+
+    def test_other_metrics_keep_the_global_threshold(self):
+        deltas = compare_bench(bench(), bench())
+        by_name = {d.metric: d for d in deltas}
+        assert by_name["suite.warm_s"].threshold == pytest.approx(
+            DEFAULT_THRESHOLD
+        )
+        assert set(METRIC_THRESHOLDS) == {"engine.l1_speedup"}
+
+
+class TestPhaseShares:
+    """Engine phase-share drift: always warn-only attribution news."""
+
+    def _payload(self, **shares):
+        return {
+            "engine": {
+                "phases": {
+                    name: {"share": share} for name, share in shares.items()
+                }
+            }
+        }
+
+    def test_identical_shares_are_quiet(self):
+        cur = self._payload(**{"policy.process": 0.4, "engine.charge": 0.1})
+        deltas = compare_phase_shares(cur, cur)
+        assert all(not d.failed for d in deltas)
+        assert all(d.status == "ok" for d in deltas)
+
+    def test_large_shift_is_flagged_in_percentage_points(self):
+        deltas = compare_phase_shares(
+            self._payload(**{"policy.process": 0.45}),
+            self._payload(**{"policy.process": 0.30}),
+        )
+        (delta,) = deltas
+        assert delta.moved_pts == pytest.approx(15.0)
+        assert delta.threshold_pts == PHASE_SHARE_WARN_PTS
+        assert delta.failed and delta.status == "SHIFTED"
+
+    def test_phase_present_in_only_one_payload_compares_against_zero(self):
+        deltas = compare_phase_shares(
+            self._payload(**{"engine.queueing": 0.15}), self._payload()
+        )
+        (delta,) = deltas
+        assert delta.previous_pts == 0.0
+        assert delta.failed
+
+    def test_sorted_by_magnitude_of_move(self):
+        deltas = compare_phase_shares(
+            self._payload(**{"a": 0.50, "b": 0.10}),
+            self._payload(**{"a": 0.45, "b": 0.30}),
+        )
+        assert [d.phase for d in deltas] == ["b", "a"]
+
+    def test_missing_phase_sections_yield_no_deltas(self):
+        assert compare_phase_shares({}, {}) == []
+        assert compare_phase_shares({"engine": {}}, {}) == []
+
+    def test_rows_render_signed_moves(self):
+        rows = phase_share_rows(
+            compare_phase_shares(
+                self._payload(**{"x": 0.42}), self._payload(**{"x": 0.30})
+            )
+        )
+        assert rows[0] == ["x", "30.0", "42.0", "+12.0", "SHIFTED"]
+
+    def test_bench_cli_phase_check_is_warn_only(self, tmp_path, capsys):
+        import argparse
+
+        from repro.exec.bench import _check_phase_shares
+
+        prev = bench()
+        prev["engine"]["phases"] = {"policy.process": {"share": 0.20}}
+        path = tmp_path / "prev.json"
+        path.write_text(json.dumps(prev))
+        cur = bench()
+        cur["engine"]["phases"] = {"policy.process": {"share": 0.45}}
+        args = argparse.Namespace(check=str(path), check_strict=True)
+        # Even under --check-strict a share shift must not exit.
+        _check_phase_shares(cur, args)
+        out = capsys.readouterr().out
+        assert "SHIFTED" in out
 
 
 class TestFloors:

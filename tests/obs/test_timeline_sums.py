@@ -152,3 +152,21 @@ def test_engine_profile_spans_present():
     labels = set(recorder.profiler.spans)
     assert {"policy.setup", "engine.l1_filter", "policy.process", "engine.charge"} <= labels
     assert "configure.solve" in labels
+
+
+def test_perf_tracer_bit_identical():
+    """The span tracer holds the same read-only contract as the
+    Recorder: an ambient PerfTracer must not perturb any simulated
+    quantity — only observe where the simulator's wall clock went."""
+    from repro.obs.tracing import PerfTracer, activate
+
+    plain = SimulationEngine(tiny()).run(build("pr", TINY), POLICIES["ndpext"]())
+    tracer = PerfTracer()
+    with activate(tracer):
+        traced = SimulationEngine(tiny()).run(
+            build("pr", TINY), POLICIES["ndpext"]()
+        )
+    assert_reports_identical(plain, traced)
+    from repro.obs.perfreport import missing_engine_phases
+
+    assert missing_engine_phases(tracer) == []

@@ -1,0 +1,214 @@
+"""The span tracer's core contracts: zero-cost off state, exact
+nested-span accounting, bounded event buffers with exact aggregates,
+and the cross-process snapshot/merge clock correction."""
+
+import pickle
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    PerfTracer,
+    activate,
+    current,
+)
+
+
+class FakeClock:
+    """Injectable monotonic/wall clock with manual advancement."""
+
+    def __init__(self, start=0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, ns):
+        self.now += ns
+
+
+def make_tracer(perf_start=0, wall_start=0, **kw):
+    clock = FakeClock(perf_start)
+    wall = FakeClock(wall_start)
+    return PerfTracer(clock=clock, wall=wall, **kw), clock
+
+
+class TestNullTracer:
+    def test_span_returns_one_shared_constant(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", cat="io", epoch=3)
+        assert a is b
+
+    def test_off_state_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything") as s:
+            assert s is not None
+        assert NULL_TRACER.instant("marker") is None
+
+
+class TestAmbient:
+    def test_defaults_to_null(self):
+        assert current() is NULL_TRACER
+
+    def test_activate_scopes_and_restores(self):
+        tracer = PerfTracer()
+        with activate(tracer) as active:
+            assert active is tracer
+            assert current() is tracer
+            inner = PerfTracer()
+            with activate(inner):
+                assert current() is inner
+            assert current() is tracer
+        assert current() is NULL_TRACER
+
+    def test_perf_tracer_is_a_null_tracer(self):
+        # Call sites type against the null interface; the real tracer
+        # must be substitutable.
+        assert isinstance(PerfTracer(), NullTracer)
+        assert PerfTracer().enabled is True
+
+
+class TestSpanAccounting:
+    def test_nested_exclusive_time(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer"):
+            clock.advance(60)
+            with tracer.span("inner"):
+                clock.advance(40)
+        outer, inner = tracer.aggregates["outer"], tracer.aggregates["inner"]
+        assert outer.total_ns == 100 and outer.exclusive_ns == 60
+        assert inner.total_ns == 40 and inner.exclusive_ns == 40
+        assert outer.calls == inner.calls == 1
+
+    def test_sibling_children_both_subtract(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                clock.advance(10)
+            clock.advance(5)
+            with tracer.span("b"):
+                clock.advance(20)
+        assert tracer.aggregates["outer"].exclusive_ns == 5
+
+    def test_events_carry_parent_ids(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer"):
+            clock.advance(1)
+            with tracer.span("inner"):
+                clock.advance(1)
+        by_name = {e.name: e for e in tracer.events}
+        assert by_name["outer"].parent == -1
+        assert by_name["inner"].parent == by_name["outer"].sid
+        # Inner closes first, so it is recorded first; the ids still
+        # order by span *start*.
+        assert by_name["inner"].sid > by_name["outer"].sid
+
+    def test_instant_records_zero_duration_event(self):
+        tracer, _ = make_tracer()
+        tracer.instant("pool.dispatch", index=3)
+        (ev,) = tracer.events
+        assert ev.dur_ns == 0 and ev.cat == "instant"
+        assert ev.args == {"index": 3}
+        assert "pool.dispatch" not in tracer.aggregates
+
+    def test_add_external_folds_into_aggregates_without_events(self):
+        tracer, _ = make_tracer()
+        tracer.add_external("configure.solve", 5_000, calls=2)
+        agg = tracer.aggregates["configure.solve"]
+        assert agg.calls == 2 and agg.total_ns == 5_000
+        assert agg.exclusive_ns == 5_000
+        assert tracer.events == []
+
+    def test_event_buffer_caps_but_aggregates_stay_exact(self):
+        tracer, clock = make_tracer(max_events=2)
+        for _ in range(5):
+            with tracer.span("step"):
+                clock.advance(10)
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+        assert tracer.aggregates["step"].calls == 5
+        assert tracer.aggregates["step"].total_ns == 50
+
+    def test_keep_events_false_records_no_events(self):
+        tracer, clock = make_tracer(keep_events=False)
+        with tracer.span("step"):
+            clock.advance(10)
+        assert tracer.events == []
+        assert tracer.dropped_events == 0
+        assert tracer.aggregates["step"].total_ns == 10
+
+    def test_total_s_sums_aggregates(self):
+        tracer, _ = make_tracer()
+        tracer.add_external("a", 1_500_000_000)
+        tracer.add_external("b", 500_000_000)
+        assert tracer.total_s == pytest.approx(2.0)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_picklable(self):
+        tracer, clock = make_tracer()
+        with tracer.span("task", cat="task", index=0):
+            clock.advance(10)
+        snap = tracer.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_reset_keeps_anchors_and_identity(self):
+        tracer, clock = make_tracer(perf_start=100, wall_start=9000)
+        with tracer.span("task"):
+            clock.advance(10)
+        anchors = (tracer.anchor_perf_ns, tracer.anchor_wall_ns)
+        tracer.reset()
+        assert tracer.events == [] and tracer.aggregates == {}
+        assert (tracer.anchor_perf_ns, tracer.anchor_wall_ns) == anchors
+
+    def test_merge_corrects_clock_skew(self):
+        """A worker's monotonic origin is arbitrary; merge must land its
+        events on the parent's timebase via the shared wall clock."""
+        parent, _ = make_tracer(perf_start=1_000, wall_start=1_000_000)
+        # Worker constructed 50 ns of wall time later, with a monotonic
+        # clock whose origin differs wildly from the parent's.
+        worker, wclock = make_tracer(
+            perf_start=500, wall_start=1_000_050, process_label="worker-9"
+        )
+        wclock.advance(100)  # worker wall time 1_000_150
+        with worker.span("task", cat="task"):
+            wclock.advance(30)
+        parent.merge(worker.snapshot())
+        (ev,) = parent.events
+        # Wall 1_000_150 is 150 ns past the parent's anchor, whose perf
+        # clock then read 1_000 + 150.
+        assert ev.ts_ns == 1_150
+        assert ev.dur_ns == 30
+
+    def test_merge_folds_aggregates_and_labels(self):
+        parent, _ = make_tracer()
+        parent.add_external("engine.l1_filter", 100)
+        worker, wclock = make_tracer(process_label="worker-7")
+        with worker.span("engine.l1_filter"):
+            wclock.advance(40)
+        worker.dropped_events = 2
+        parent.merge(worker.snapshot())
+        agg = parent.aggregates["engine.l1_filter"]
+        assert agg.calls == 2 and agg.total_ns == 140
+        assert parent.process_labels[worker.pid] == "worker-7"
+        assert parent.dropped_events == 2
+
+    def test_snapshot_delta_protocol(self):
+        """snapshot() + reset() ships per-task deltas that still share
+        one timebase (the pool's per-task shipping discipline)."""
+        parent, _ = make_tracer(perf_start=0, wall_start=0)
+        worker, wclock = make_tracer(
+            perf_start=0, wall_start=0, process_label="w"
+        )
+        with worker.span("task", cat="task", index=0):
+            wclock.advance(10)
+        parent.merge(worker.snapshot())
+        worker.reset()
+        wclock.advance(5)
+        with worker.span("task", cat="task", index=1):
+            wclock.advance(20)
+        parent.merge(worker.snapshot())
+        t0, t1 = sorted(e.ts_ns for e in parent.events)
+        assert t1 - t0 == 15  # first task (10) + idle (5)
+        assert parent.aggregates["task"].calls == 2
