@@ -15,8 +15,10 @@ Usage::
     python -m repro bench [--quick] [--out BENCH.json] [--check PREV.json]
     python -m repro profile --workload pr --policy ndpext [--perf-out prof.json]
     python -m repro profile --suite --jobs 4 [--report-out bottleneck.json]
+    python -m repro serve --workload pr [--storm] [--journal serve.jsonl]
 
-``--jobs N`` fans uncached simulation cells across N *supervised*
+``--jobs N`` (or ``--jobs auto``, which sizes the pool from the CPU
+count with a cap) fans uncached simulation cells across N *supervised*
 worker processes: crashed or hung workers are detected, the affected
 cell is retried with exponential backoff, and repeat offenders are
 quarantined into a poison list instead of aborting the sweep — results
@@ -61,6 +63,15 @@ trace flags: ``--trace-out`` (on ``run``/``compare``/``trace``) is the
 *semantic* JSONL event trace of the simulated system, consumed by
 ``stats`` and ``dash``; ``--perf-out`` is a *performance* trace of the
 simulator process itself, consumed by Perfetto.
+
+``serve`` keeps one engine + policy session resident and replays a
+multi-tenant request-batch scenario through it: bounded per-tenant
+queues with admission control, priority-ordered scheduling with load
+shedding and per-batch deadlines, and a health monitor that turns fault
+events into forced re-placements (and pauses reconfiguration while a
+unit is flapping).  ``--journal`` makes the run resumable after a
+drain; ``--storm`` injects a seeded fault storm.  See DESIGN.md
+§ "Serving mode".
 """
 
 from __future__ import annotations
@@ -94,6 +105,21 @@ FIGURES = {
 }
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs N`` or ``--jobs auto`` (resolved here so every consumer
+    downstream still sees a plain int)."""
+    if value.strip().lower() == "auto":
+        from repro.exec.parallel import auto_jobs
+
+        return auto_jobs()
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="NDPExt reproduction toolkit"
@@ -106,10 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_arg,
         default=1,
+        metavar="N|auto",
         help="fan uncached simulation cells across N supervised worker "
-        "processes (default: 1 = serial; results are bit-identical "
+        "processes (default: 1 = serial; 'auto' sizes the pool from the "
+        "machine's CPU count, capped; results are bit-identical "
         "either way, including across worker crashes and retries)",
     )
     parser.add_argument(
@@ -263,6 +291,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_p.add_argument(
         "--csv", default=None, help="export the first trace's timeline as CSV"
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="multi-tenant serving loop: replay a tenant-mix scenario",
+    )
+    serve_p.add_argument(
+        "--workload", default="pr", choices=sorted(SUITE)
+    )
+    serve_p.add_argument(
+        "--policy", default="ndpext", choices=sorted(POLICIES)
+    )
+    serve_p.add_argument(
+        "--name", default="serve", help="scenario name (default: serve)"
+    )
+    serve_p.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME[:PRIO[:QUOTA[:DEADLINE_NS]]]",
+        help="add a tenant (repeatable); omitted fields default to "
+        "priority 0, the loop's default quota, and no deadline. "
+        "Default roster: interactive:10:8 + analytics:0:4",
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--batch-accesses",
+        type=int,
+        default=None,
+        help="accesses per batch (default: the preset's epoch size)",
+    )
+    serve_p.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf exponent for the tenant traffic skew (default: 1.1)",
+    )
+    serve_p.add_argument(
+        "--phase-shift-at",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="invert the hot/cold tenant ranking after this fraction of "
+        "batches (traffic drift; default: off)",
+    )
+    serve_p.add_argument("--max-batches", type=int, default=None)
+    serve_p.add_argument(
+        "--wave-size",
+        type=int,
+        default=4,
+        help="batches submitted between serving bursts (default: 4)",
+    )
+    serve_p.add_argument(
+        "--steps-per-wave",
+        type=int,
+        default=None,
+        help="serving budget per wave; small values build backlog and "
+        "exercise shedding/timeouts (default: drain fully each wave)",
+    )
+    serve_p.add_argument(
+        "--drain-after",
+        type=int,
+        default=None,
+        metavar="BATCHES",
+        help="stop submitting after this many batches and drain (the "
+        "interrupted-run half of a drain/resume pair)",
+    )
+    serve_p.add_argument(
+        "--storm",
+        action="store_true",
+        help="inject a seeded fault storm (unit fail-stop, row faults, "
+        "CRC burst, lane downtrain) through the health monitor",
+    )
+    serve_p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal admitted batches here; rerunning with the same "
+        "journal skips everything already served (drain/resume)",
+    )
+    serve_p.add_argument(
+        "--report-out", default=None, help="write the ServeReport as JSON"
+    )
+    serve_p.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write the JSONL observability trace (serve_* events)",
+    )
+    serve_p.add_argument(
+        "--prom",
+        default=None,
+        help="also export serving metrics in Prometheus text format",
     )
     return parser
 
@@ -433,9 +553,7 @@ def cmd_profile(args) -> None:
     cache, the whole run would collapse into one ``cache.report_load``
     span and the report would say nothing.
     """
-    import os
-    import tempfile
-
+    from repro.exec.cache import throwaway_cache_dir
     from repro.obs.perfreport import (
         bottleneck_report,
         render_bottleneck,
@@ -448,36 +566,28 @@ def cmd_profile(args) -> None:
             "profile: pass --workload and --policy, or --suite for the grid"
         )
     tracer = PerfTracer(process_label="main")
-    base_dir = os.environ.get("REPRO_CACHE_DIR")
     accesses = 0
-    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
-        try:
-            os.environ["REPRO_CACHE_DIR"] = tmp
-            context = ExperimentContext(
-                preset=args.preset,
-                jobs=args.jobs,
-                timeout_s=args.timeout,
-                max_retries=args.max_retries,
-            )
-            with activate(tracer):
-                if args.suite:
-                    cells = [
-                        Cell(wname, pname)
-                        for wname in ("pr", "hotspot")
-                        for pname in ("ndpext", "nexus")
-                    ]
-                    reports = context.run_many(cells)
-                    accesses = sum(
-                        r.hits.total_requests for r in reports if r is not None
-                    )
-                else:
-                    report = context.run(args.workload, args.policy)
-                    accesses = report.hits.total_requests
-        finally:
-            if base_dir is None:
-                os.environ.pop("REPRO_CACHE_DIR", None)
+    with throwaway_cache_dir(prefix="repro-profile-"):
+        context = ExperimentContext(
+            preset=args.preset,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            max_retries=args.max_retries,
+        )
+        with activate(tracer):
+            if args.suite:
+                cells = [
+                    Cell(wname, pname)
+                    for wname in ("pr", "hotspot")
+                    for pname in ("ndpext", "nexus")
+                ]
+                reports = context.run_many(cells)
+                accesses = sum(
+                    r.hits.total_requests for r in reports if r is not None
+                )
             else:
-                os.environ["REPRO_CACHE_DIR"] = base_dir
+                report = context.run(args.workload, args.policy)
+                accesses = report.hits.total_requests
     events = write_chrome_trace(
         tracer,
         args.perf_out,
@@ -500,6 +610,95 @@ def cmd_profile(args) -> None:
 
         write_json(args.report_out, prof)
         print(f"[profile] wrote {args.report_out}")
+
+
+def _parse_tenant(spec: str):
+    """``name[:priority[:quota[:deadline_ns]]]`` with empty fields allowed
+    (``batch::4`` = default priority, quota 4)."""
+    from repro.serve import TenantSpec
+
+    parts = spec.split(":")
+    if not parts[0]:
+        raise SystemExit(f"serve: tenant spec {spec!r} needs a name")
+    if len(parts) > 4:
+        raise SystemExit(
+            f"serve: tenant spec {spec!r} has too many fields "
+            "(name[:priority[:quota[:deadline_ns]]])"
+        )
+    try:
+        priority = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+        quota = int(parts[2]) if len(parts) > 2 and parts[2] else None
+        deadline = int(parts[3]) if len(parts) > 3 and parts[3] else None
+    except ValueError:
+        raise SystemExit(
+            f"serve: non-integer field in tenant spec {spec!r}"
+        ) from None
+    return TenantSpec(
+        parts[0], priority=priority, max_queued=quota, deadline_ns=deadline
+    )
+
+
+def cmd_serve(args) -> None:
+    """Replay a tenant-mix scenario through the resident serving loop."""
+    from repro.serve import ServeHarness, ServeScenario, two_tenant_scenario
+
+    faults = (
+        {
+            "unit_failures": 1,
+            "row_faults": 1,
+            "crc_bursts": 1,
+            "downtrains": 1,
+        }
+        if args.storm
+        else None
+    )
+    common = dict(
+        workload=args.workload,
+        policy=args.policy,
+        seed=args.seed,
+        batch_accesses=args.batch_accesses,
+        zipf_s=args.zipf_s,
+        phase_shift_at=args.phase_shift_at,
+        max_batches=args.max_batches,
+        wave_size=args.wave_size,
+        steps_per_wave=args.steps_per_wave,
+        drain_after_batches=args.drain_after,
+        faults=faults,
+    )
+    if args.tenant:
+        tenants = tuple(_parse_tenant(spec) for spec in args.tenant)
+        scenario = ServeScenario(name=args.name, tenants=tenants, **common)
+    else:
+        scenario = two_tenant_scenario(name=args.name, **common)
+    recorder = (
+        Recorder(
+            workload=args.workload, policy=args.policy, preset=args.preset
+        )
+        if args.trace_out
+        else None
+    )
+    harness = ServeHarness(
+        scenario,
+        preset=args.preset,
+        recorder=recorder,
+        journal_path=args.journal,
+    )
+    report = harness.run()
+    print(report.summary())
+    if args.report_out:
+        from repro.obs.export import write_json
+
+        write_json(args.report_out, report.to_json())
+        print(f"[serve] wrote {args.report_out}")
+    if recorder is not None and args.trace_out:
+        lines = recorder.write_jsonl(args.trace_out)
+        print(f"[serve] wrote {args.trace_out} ({lines} lines)")
+    if args.prom:
+        from repro.obs.export import serve_prometheus
+
+        with open(args.prom, "w") as f:
+            f.write(serve_prometheus(report, {"preset": args.preset}))
+        print(f"[serve] wrote {args.prom}")
 
 
 def cmd_stats(args) -> None:
@@ -559,6 +758,11 @@ def main(argv: list[str] | None = None) -> int:
         # Builds its own context *after* redirecting REPRO_CACHE_DIR,
         # so the profiled run cannot be served from the user's cache.
         cmd_profile(args)
+        return 0
+    if args.command == "serve":
+        # The serving harness owns its engine/policy lifetime (the whole
+        # point is one resident session), so no ExperimentContext.
+        cmd_serve(args)
         return 0
     context = ExperimentContext(
         preset=args.preset,

@@ -69,19 +69,40 @@ class NdpExtPolicy(DramCachePolicy):
         # hardware fall through to extended memory (fail-stop baseline).
         self.fault_recovery = fault_recovery
         self.name = name or ("ndpext" if mode == "full" else f"ndpext-{mode}")
+        # Serving-loop hooks: a health monitor may force the next epoch
+        # boundary to reconfigure (bypassing the churn damper) or pause
+        # periodic reconfiguration entirely while a unit is flapping.
+        self._forced_reconfig = False
+        self._reconfig_enabled = True
+        self.applied_reconfigs = 0
 
     # ------------------------------------------------------------------
 
     def setup(
         self, config: SystemConfig, topology: Topology, workload: Workload
     ) -> None:
+        self.workload = workload
+        self.setup_streams(config, topology, workload.streams)
+
+    def setup_streams(
+        self,
+        config: SystemConfig,
+        topology: Topology,
+        streams: list[StreamConfig],
+    ) -> None:
+        """Bind to a system and a stream table without a whole trace.
+
+        The serving loop sets the runtime up from the tenant stream
+        namespace alone — request batches arrive incrementally, so no
+        trace exists up front.  ``setup`` (the batch path) delegates
+        here.
+        """
         self.config = config
         self.topology = topology
-        self.workload = workload
         self.mapper = StreamCacheMapper(
             config,
             topology,
-            workload.streams,
+            streams,
             placement=self.placement,
             indirect_ways=self.indirect_ways,
             affine_block_bytes=self.affine_block_bytes,
@@ -106,9 +127,7 @@ class NdpExtPolicy(DramCachePolicy):
             row_bytes=config.ndp_dram.row_bytes,
             affine_space_bytes=config.stream.affine_space_bytes,
         )
-        self._streams: dict[int, StreamConfig] = {
-            s.sid: s for s in workload.streams
-        }
+        self._streams: dict[int, StreamConfig] = {s.sid: s for s in streams}
         self._curves: dict[int, MissCurve] = {}
         # sid -> hit rate the miss-curve model promised for the currently
         # installed configuration; compared against realized rates at the
@@ -162,6 +181,29 @@ class NdpExtPolicy(DramCachePolicy):
             return False
         return epoch_idx % self.reconfig_interval == 0
 
+    def request_reconfigure(self) -> None:
+        """Force the next reconfigurable epoch boundary to reconfigure.
+
+        The serving health monitor calls this when hardware degrades:
+        the churn damper (:data:`RECONFIG_GAIN_THRESHOLD`) is bypassed
+        for that one boundary so capacity-aware re-placement always
+        lands, even when the predicted gain is marginal.  The request
+        stays pending while reconfiguration is disabled or no curves
+        exist yet.
+        """
+        self._forced_reconfig = True
+
+    def set_reconfig_enabled(self, enabled: bool) -> None:
+        """Pause/resume reconfiguration (flap damping for the serve loop).
+
+        While disabled, ``begin_epoch`` installs nothing — a flapping
+        unit would otherwise trigger a re-placement storm whose
+        invalidations cost more than any placement gain.  Pending forced
+        requests survive the pause and fire on the first enabled
+        boundary.
+        """
+        self._reconfig_enabled = bool(enabled)
+
     # Install a new configuration only when it promises at least this
     # relative miss reduction over the one already in place.  Residual
     # sampling noise otherwise causes reconfiguration churn whose
@@ -169,8 +211,18 @@ class NdpExtPolicy(DramCachePolicy):
     RECONFIG_GAIN_THRESHOLD = 0.03
 
     def begin_epoch(self, epoch_idx: int) -> ReconfigStats:
-        if not self._should_reconfigure(epoch_idx):
+        if not self._reconfig_enabled:
             return ReconfigStats()
+        forced = (
+            self._forced_reconfig
+            and self.mode != "static"
+            and epoch_idx > 0
+            and bool(self._curves or self._epoch_access_totals)
+        )
+        if not forced and not self._should_reconfigure(epoch_idx):
+            return ReconfigStats()
+        if forced:
+            self._forced_reconfig = False
         curves = dict(self._curves)
         # Streams the samplers have not covered yet keep a synthetic
         # linear curve so they retain some allocation until measured.
@@ -188,8 +240,10 @@ class NdpExtPolicy(DramCachePolicy):
             )
         old_cost = self._predicted_cost(curves, self._current_allocations())
         new_cost = self._predicted_cost(curves, result.allocations)
-        skipped = old_cost > 0 and new_cost > old_cost * (
-            1.0 - self.RECONFIG_GAIN_THRESHOLD
+        skipped = (
+            not forced
+            and old_cost > 0
+            and new_cost > old_cost * (1.0 - self.RECONFIG_GAIN_THRESHOLD)
         )
         if skipped:
             chosen = self._current_allocations()
@@ -197,6 +251,7 @@ class NdpExtPolicy(DramCachePolicy):
         else:
             chosen = result.allocations
             stats = self.mapper.apply(result.allocations)
+            self.applied_reconfigs += 1
         if self.recorder.enabled:
             self._predicted_hit_rate = self._predict_hit_rates(curves, chosen)
             alloc_by_sid = {alloc.sid: alloc for alloc in chosen}
@@ -210,6 +265,7 @@ class NdpExtPolicy(DramCachePolicy):
                 "reconfig",
                 epoch=epoch_idx,
                 applied=not skipped,
+                forced=forced,
                 unit_rows=[int(v) for v in unit_rows],
                 predicted_cost_old=old_cost,
                 predicted_cost_new=new_cost,

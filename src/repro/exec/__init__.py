@@ -18,6 +18,7 @@ from repro.exec.cache import (
     cache_root,
     cell_key,
     code_stamp,
+    throwaway_cache_dir,
 )
 from repro.exec.checkpoint import SweepManifest
 from repro.exec.parallel import (
@@ -26,6 +27,7 @@ from repro.exec.parallel import (
     PoisonedCell,
     PoolOutcome,
     RetryPolicy,
+    auto_jobs,
     run_cells,
     run_supervised,
 )
@@ -40,11 +42,13 @@ __all__ = [
     "RetryPolicy",
     "SweepManifest",
     "TraceCache",
+    "auto_jobs",
     "cache_enabled",
     "cache_root",
     "cell_key",
     "code_stamp",
     "run_cells",
     "run_supervised",
+    "throwaway_cache_dir",
     "workload_key",
 ]

@@ -26,7 +26,6 @@ from __future__ import annotations
 import datetime
 import json
 import os
-import tempfile
 import time
 
 import numpy as np
@@ -155,26 +154,24 @@ def bench_suite(preset: str, workloads, policies, jobs: int) -> dict:
         "cells": len(workloads) * len(policies),
         "jobs": jobs,
     }
-    base_dir = os.environ.get("REPRO_CACHE_DIR")
-    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-        try:
-            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "serial")
-            result["serial_cold_s"], result["serial_counters"] = _run_suite(
-                preset, workloads, policies, jobs=1
-            )
-            # Same cache dir, fresh context: everything comes from disk.
-            result["warm_s"], result["warm_counters"] = _run_suite(
-                preset, workloads, policies, jobs=1
-            )
-            os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "parallel")
-            result["parallel_cold_s"], result["parallel_counters"] = _run_suite(
-                preset, workloads, policies, jobs=jobs
-            )
-        finally:
-            if base_dir is None:
-                os.environ.pop("REPRO_CACHE_DIR", None)
-            else:
-                os.environ["REPRO_CACHE_DIR"] = base_dir
+    from repro.exec.cache import throwaway_cache_dir
+
+    with throwaway_cache_dir(prefix="repro-bench-") as tmp:
+        # The manager restores REPRO_CACHE_DIR on any exit; inside the
+        # block we point it at per-phase subdirectories so the serial
+        # and parallel passes each start cold.
+        os.environ["REPRO_CACHE_DIR"] = str(tmp / "serial")
+        result["serial_cold_s"], result["serial_counters"] = _run_suite(
+            preset, workloads, policies, jobs=1
+        )
+        # Same cache dir, fresh context: everything comes from disk.
+        result["warm_s"], result["warm_counters"] = _run_suite(
+            preset, workloads, policies, jobs=1
+        )
+        os.environ["REPRO_CACHE_DIR"] = str(tmp / "parallel")
+        result["parallel_cold_s"], result["parallel_counters"] = _run_suite(
+            preset, workloads, policies, jobs=jobs
+        )
     result["parallel_speedup"] = (
         result["serial_cold_s"] / result["parallel_cold_s"]
         if result["parallel_cold_s"]
@@ -188,9 +185,11 @@ def bench_suite(preset: str, workloads, policies, jobs: int) -> dict:
 
 def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
     from repro.exec.cache import code_stamp
+    from repro.exec.parallel import auto_jobs
 
     if jobs is None:
-        jobs = max(2, os.cpu_count() or 1)
+        # At least 2 so the parallel pass actually exercises the pool.
+        jobs = max(2, auto_jobs())
     if quick:
         preset = "tiny"
         workloads = ("pr", "hotspot")

@@ -29,6 +29,7 @@ Environment knobs (see README):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
@@ -53,6 +54,33 @@ ENTRY_SCHEMA = 2
 _BEHAVIOR_PACKAGES = ("sim", "core", "baselines", "workloads", "faults")
 
 _code_stamp_cache: str | None = None
+
+
+@contextlib.contextmanager
+def throwaway_cache_dir(prefix: str = "repro-throwaway-"):
+    """Redirect ``REPRO_CACHE_DIR`` to a temp dir for the enclosed block.
+
+    Used by the ``profile`` verb and the bench harness, which need runs
+    that *actually execute* rather than hit the user's warm cache.  The
+    environment variable is restored and the directory removed no
+    matter how the block exits — a crashing profiled run cannot leak a
+    directory or leave the redirect in place — and cleanup errors are
+    swallowed (``ignore_cleanup_errors``): a worker killed mid-write may
+    hold a file open briefly, and a leaked *empty* temp dir is better
+    than masking the original exception.
+    """
+    previous = os.environ.get(CACHE_DIR_ENV)
+    with tempfile.TemporaryDirectory(
+        prefix=prefix, ignore_cleanup_errors=True
+    ) as tmp:
+        try:
+            os.environ[CACHE_DIR_ENV] = tmp
+            yield Path(tmp)
+        finally:
+            if previous is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous
 
 
 def cache_enabled() -> bool:

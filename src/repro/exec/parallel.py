@@ -195,6 +195,27 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+# `--jobs auto` never asks for more workers than this: past a moderate
+# fan-out the single-builder trace lock and the supervisor pipe become
+# the bottleneck, and oversubscribing CPUs only adds scheduling noise.
+AUTO_JOBS_CAP = 8
+
+
+def auto_jobs(cap: int = AUTO_JOBS_CAP) -> int:
+    """Derive a worker count from the machine (`--jobs auto`).
+
+    Leaves one CPU for the supervisor/OS on multi-core boxes, capped at
+    ``cap``; single-CPU machines get one worker (serial — the pool
+    cannot win there, as the bench floors document).
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 2:
+        # 1 CPU -> serial; 2 CPUs -> both (a lone worker would serialize
+        # anyway, and the supervisor mostly sleeps in poll()).
+        return cpus
+    return max(1, min(cap, cpus - 1))
+
+
 def schedule_order(tasks: Sequence[CellTask]) -> list[int]:
     """Longest-first task order, interleaved across workload groups.
 

@@ -139,6 +139,32 @@ class FaultState:
         self._unacked = [k for k, ack in self._quarantined.items() if not ack]
         return events
 
+    def health_summary(self) -> dict:
+        """A point-in-time health snapshot for the serving loop.
+
+        Broader than :attr:`degraded` (which only tracks what needs
+        engine-side demotion): a down-trained CXL link or an active CRC
+        burst also count as degraded capacity here, because a health
+        monitor should shed load and re-place data for those too.
+        """
+        alive_units = int(self.alive.sum())
+        crc_active = self.active_crc is not None
+        return {
+            "epoch": self._epoch,
+            "alive_units": alive_units,
+            "dead_units": int(self.n_units - alive_units),
+            "effective_lanes": int(self.effective_lanes),
+            "full_lanes": int(self.full_lanes),
+            "unacked_rows": len(self._unacked),
+            "crc_active": crc_active,
+            "degraded": (
+                alive_units < self.n_units
+                or bool(self._unacked)
+                or self.effective_lanes < self.full_lanes
+                or crc_active
+            ),
+        }
+
     def acknowledge_row(self, unit: int, row: int) -> None:
         """A policy remapped around this quarantined row; stop demoting."""
         key = (unit, row)

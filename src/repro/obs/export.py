@@ -224,6 +224,96 @@ def prometheus_text(
     return "\n".join(w.lines) + "\n"
 
 
+def serve_prometheus(
+    report, extra_labels: dict[str, object] | None = None
+) -> str:
+    """Render a :class:`~repro.serve.report.ServeReport` as Prometheus
+    text format: per-tenant admission/shed/timeout counters, batch
+    latency as native histograms (overall and per tenant), plus
+    reconfiguration and degradation gauges.  Appended after
+    :func:`prometheus_text` of the embedded sim report, this is the
+    future live ``/metrics`` payload.
+    """
+    base = {"scenario": report.scenario}
+    base.update(extra_labels or {})
+    w = _Writer()
+
+    w.declare(
+        f"{PREFIX}_serve_batches_total",
+        "counter",
+        "serving-loop batch outcomes by tenant",
+    )
+    for name, stats in sorted(report.tenants.items()):
+        for outcome in (
+            "submitted",
+            "admitted",
+            "rejected",
+            "shed",
+            "timed_out",
+            "completed",
+            "resumed",
+        ):
+            w.sample(
+                f"{PREFIX}_serve_batches_total",
+                {**base, "tenant": name, "outcome": outcome},
+                getattr(stats, outcome),
+            )
+
+    w.declare(
+        f"{PREFIX}_serve_batch_latency_ns",
+        "histogram",
+        "batch latency from admission to completion (simulated ns)",
+    )
+    _histogram_lines(
+        w,
+        f"{PREFIX}_serve_batch_latency_ns",
+        report.latency,
+        {**base, "tenant": "all"},
+    )
+    for name, stats in sorted(report.tenants.items()):
+        if stats.latency.n:
+            _histogram_lines(
+                w,
+                f"{PREFIX}_serve_batch_latency_ns",
+                stats.latency,
+                {**base, "tenant": name},
+            )
+
+    w.declare(
+        f"{PREFIX}_serve_reconfigs_total",
+        "counter",
+        "placements applied while serving",
+    )
+    w.sample(f"{PREFIX}_serve_reconfigs_total", base, report.reconfigs)
+    w.declare(
+        f"{PREFIX}_serve_health_reconfig_requests_total",
+        "counter",
+        "re-placements forced by the health monitor",
+    )
+    w.sample(
+        f"{PREFIX}_serve_health_reconfig_requests_total",
+        base,
+        report.health_reconfig_requests,
+    )
+    w.declare(
+        f"{PREFIX}_serve_degraded_epochs",
+        "gauge",
+        "epochs spent in a degradation window",
+    )
+    w.sample(
+        f"{PREFIX}_serve_degraded_epochs",
+        base,
+        sum(b - a for a, b in report.degraded_windows),
+    )
+    w.declare(
+        f"{PREFIX}_serve_drained_queued",
+        "gauge",
+        "batches journaled but unserved at drain",
+    )
+    w.sample(f"{PREFIX}_serve_drained_queued", base, report.drained_queued)
+    return "\n".join(w.lines) + "\n"
+
+
 def json_payload(
     report: SimulationReport,
     extra: dict | None = None,

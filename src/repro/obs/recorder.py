@@ -28,7 +28,12 @@ from typing import Iterator
 
 from repro.obs.profiler import SelfProfiler
 
-SCHEMA_VERSION = 1
+# Schema history:
+#   1 — initial trace layout (header / events / counters / profile / footer).
+#   2 — serving-mode events added (serve_shed / serve_timeout /
+#       serve_degraded / serve_reject), each with required fields the
+#       summarizer validates.
+SCHEMA_VERSION = 2
 
 
 def sanitize_json(obj):

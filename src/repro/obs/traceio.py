@@ -121,6 +121,37 @@ def report_from_trace(trace: TraceFile):
     )
 
 
+# Serving-mode events (schema 2) and the fields each must carry; the
+# summarizer hard-fails on a malformed one rather than silently
+# under-counting dropped work.
+_SERVE_REQUIRED: dict[str, tuple[str, ...]] = {
+    "serve_shed": ("tenant", "batch"),
+    "serve_timeout": ("tenant", "batch"),
+    "serve_degraded": ("state",),
+}
+
+
+def serve_event_counts(trace: TraceFile) -> dict[str, int]:
+    """Validated per-kind counts of the serving-mode events.
+
+    Raises ``ValueError`` when an event is missing a required field —
+    a shed/timeout record that cannot be attributed to a tenant and
+    batch is corrupt, not merely incomplete.
+    """
+    counts: dict[str, int] = {}
+    for kind, required in _SERVE_REQUIRED.items():
+        events = trace.events_of(kind)
+        for event in events:
+            missing = [f for f in required if event.get(f) is None]
+            if missing:
+                raise ValueError(
+                    f"{trace.path}: {kind} event missing required "
+                    f"field(s) {missing}: {event}"
+                )
+        counts[kind] = len(events)
+    return counts
+
+
 def summarize(trace: TraceFile) -> dict:
     """Aggregate view of one trace for the ``stats`` verb."""
     timeline = trace.timeline
@@ -144,6 +175,7 @@ def summarize(trace: TraceFile) -> dict:
     last = timeline.records[-1] if len(timeline) else None
     histograms = trace.histograms
     spatial = trace.spatial
+    serve_counts = serve_event_counts(trace)
     return {
         "workload": trace.header.get("workload", "?"),
         "policy": trace.header.get("policy", "?"),
@@ -170,6 +202,9 @@ def summarize(trace: TraceFile) -> dict:
             else 0.0
         ),
         "load_imbalance": spatial.load_imbalance if spatial else 0.0,
+        "serve_shed": serve_counts["serve_shed"],
+        "serve_timeouts": serve_counts["serve_timeout"],
+        "serve_degraded_transitions": serve_counts["serve_degraded"],
         "profile_s": sum(row.get("total_s", 0.0) for row in trace.profile),
     }
 

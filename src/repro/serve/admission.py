@@ -1,0 +1,87 @@
+"""Admission control and load shedding for the serving loop.
+
+Two distinct overload defenses, applied in order:
+
+* **Admission** happens at submit time, per tenant: a batch that would
+  push its tenant's ingress queue past the quota is rejected
+  synchronously with a machine-readable reason.  The sender learns
+  immediately (backpressure), and one tenant's burst can never occupy
+  another tenant's queue space.
+* **Shedding** happens after admission, globally: when the *total*
+  backlog exceeds the loop's capacity the shedder drops already-queued
+  batches, lowest priority first and newest first within a tenant —
+  preserving the oldest work preserves FIFO fairness for whoever is
+  about to be served.  Shedding is recorded per batch (``serve_shed``
+  events) so operators can attribute dropped work.
+
+Both decisions are pure functions of queue state, so a replayed
+scenario sheds and rejects identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.tenants import Batch, TenantQueue
+
+REASON_QUOTA = "tenant_quota"
+REASON_UNKNOWN_TENANT = "unknown_tenant"
+REASON_DRAINING = "draining"
+REASON_RESUMED = "already_done"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The synchronous answer to one submit."""
+
+    admitted: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+ADMIT = AdmissionDecision(True)
+
+
+class AdmissionController:
+    """Quota admission + priority-aware global shedding."""
+
+    def __init__(self, default_max_queued: int, max_total_queued: int) -> None:
+        if default_max_queued < 1:
+            raise ValueError("default_max_queued must be >= 1")
+        if max_total_queued < 1:
+            raise ValueError("max_total_queued must be >= 1")
+        self.default_max_queued = default_max_queued
+        self.max_total_queued = max_total_queued
+
+    def quota(self, queue: TenantQueue) -> int:
+        limit = queue.spec.max_queued
+        return limit if limit is not None else self.default_max_queued
+
+    def admit(self, queue: TenantQueue) -> AdmissionDecision:
+        """May this tenant enqueue one more batch right now?"""
+        if len(queue) >= self.quota(queue):
+            return AdmissionDecision(False, REASON_QUOTA)
+        return ADMIT
+
+    def select_shed(self, queues: dict[str, TenantQueue]) -> list[Batch]:
+        """Pick and remove the batches to drop to get back under the
+        global cap.  Victim order: lowest priority first; within a
+        priority level, the tenant with the longest queue; within a
+        tenant, newest first (LIFO — the oldest queued work is closest
+        to being served and has the most invested wait).
+        """
+        total = sum(len(q) for q in queues.values())
+        shed: list[Batch] = []
+        while total > self.max_total_queued:
+            victims = [q for q in queues.values() if len(q)]
+            if not victims:
+                break
+            victim = min(
+                victims,
+                key=lambda q: (q.spec.priority, -len(q), q.spec.name),
+            )
+            shed.append(victim.batches.pop())
+            total -= 1
+        return shed

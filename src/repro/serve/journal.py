@@ -1,0 +1,169 @@
+"""Append-only serve journal: drain a serving loop, resume it later.
+
+Same idiom as :class:`repro.exec.checkpoint.SweepManifest` — one JSONL
+file, every line flushed and fsync'd as it is appended, torn final line
+tolerated, stale file rotated aside — but journaling *batches* instead
+of sweep cells::
+
+    {"kind": "header", "schema": 1, "stamp": "<code stamp>",
+     "scenario": "<scenario key>"}
+    {"kind": "batch", "status": "queued", "key": "tenant:7",
+     "tenant": ..., "batch": 7, "start": ..., "stop": ...,
+     "enqueued_ns": ..., "deadline_ns": ...}
+    {"kind": "batch", "status": "done", "key": "tenant:7",
+     "outcome": "completed"}
+
+A batch is journaled ``queued`` the moment admission accepts it and
+``done`` when it reaches *any* terminal outcome — completed, shed, or
+timed out — so after a drain (or a crash) the pending set is exactly
+``queued - done``: the restart re-submits the scenario, already-done
+batches are skipped without recomputation, and only the batches that
+were still waiting are processed.
+
+The header pins both the code stamp and a caller-supplied *scenario
+key*: a journal written by different simulator code, or for a different
+scenario, describes different batches, so it is rotated to
+``<path>.stale`` rather than silently resumed against the wrong run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+SERVE_JOURNAL_SCHEMA = 1
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_SHED = "shed"
+OUTCOME_TIMEOUT = "timeout"
+
+
+class ServeJournal:
+    """Journal of queued/terminal batches for one resumable serve run."""
+
+    def __init__(
+        self,
+        path: Path | str,
+        scenario_key: str = "",
+        stamp: str | None = None,
+    ) -> None:
+        if stamp is None:
+            from repro.exec.cache import code_stamp
+
+            stamp = code_stamp()
+        self.path = Path(path)
+        self.stamp = stamp
+        self.scenario_key = scenario_key
+        self._queued: dict[str, dict] = {}
+        self._done: dict[str, str] = {}  # key -> outcome
+        self._fh = None
+        self._load()
+
+    # -- reading -------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        stale = False
+        records: list[dict] = []
+        for i, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail from a crash mid-append; keep the prefix
+            if not isinstance(record, dict):
+                break
+            if i == 0:
+                if (
+                    record.get("kind") != "header"
+                    or record.get("schema") != SERVE_JOURNAL_SCHEMA
+                    or record.get("stamp") != self.stamp
+                    or record.get("scenario") != self.scenario_key
+                ):
+                    stale = True
+                    break
+                continue
+            records.append(record)
+        if stale:
+            try:
+                os.replace(
+                    self.path, self.path.with_name(self.path.name + ".stale")
+                )
+            except OSError:
+                pass
+            return
+        for record in records:
+            if record.get("kind") != "batch" or "key" not in record:
+                continue
+            key = record["key"]
+            status = record.get("status")
+            if status == "queued":
+                self._queued[key] = record
+            elif status == "done":
+                self._done[key] = record.get("outcome", OUTCOME_COMPLETED)
+
+    def is_done(self, key: str) -> bool:
+        return key in self._done
+
+    def outcome(self, key: str) -> str | None:
+        return self._done.get(key)
+
+    def pending(self) -> list[dict]:
+        """Queued records with no terminal outcome, in journal order."""
+        return [
+            record
+            for key, record in self._queued.items()
+            if key not in self._done
+        ]
+
+    @property
+    def done_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._queued)
+
+    # -- writing -------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                header = {
+                    "kind": "header",
+                    "schema": SERVE_JOURNAL_SCHEMA,
+                    "stamp": self.stamp,
+                    "scenario": self.scenario_key,
+                }
+                self._fh.write(json.dumps(header) + "\n")
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def journal_queued(self, key: str, **meta) -> None:
+        if key in self._queued:
+            return
+        record = {"kind": "batch", "status": "queued", "key": key, **meta}
+        self._queued[key] = record
+        self._append(record)
+
+    def journal_done(self, key: str, outcome: str = OUTCOME_COMPLETED) -> None:
+        if key in self._done:
+            return
+        self._done[key] = outcome
+        self._append(
+            {"kind": "batch", "status": "done", "key": key, "outcome": outcome}
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,185 @@
+"""The serving loop's end-of-run accounting.
+
+A :class:`ServeReport` is the serving analogue of
+:class:`~repro.sim.metrics.SimulationReport`: per-tenant admission /
+shed / timeout / completion counters, batch-latency distributions in
+the shared :class:`~repro.obs.histogram.LatencyHistogram` bucket scheme
+(simulated nanoseconds from admission to completion, so replays are
+deterministic), reconfiguration activity, and the health monitor's
+degradation windows.  The underlying engine run's
+:class:`SimulationReport` rides along so a fault-free single-tenant
+serve can be checked bit-identical against the batch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.histogram import LatencyHistogram
+from repro.sim.metrics import SimulationReport
+
+
+@dataclass
+class TenantStats:
+    """One tenant's lifetime counters and latency distribution."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    completed: int = 0
+    resumed: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def to_json(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "latency": self.latency.to_json(),
+            "latency_percentiles": self.latency.percentiles(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TenantStats":
+        return cls(
+            submitted=int(data.get("submitted", 0)),
+            admitted=int(data.get("admitted", 0)),
+            rejected=int(data.get("rejected", 0)),
+            shed=int(data.get("shed", 0)),
+            timed_out=int(data.get("timed_out", 0)),
+            completed=int(data.get("completed", 0)),
+            resumed=int(data.get("resumed", 0)),
+            latency=LatencyHistogram.from_json(
+                data.get("latency", LatencyHistogram().to_json())
+            ),
+        )
+
+
+@dataclass
+class ServeReport:
+    """What one serving run did, per tenant and overall."""
+
+    scenario: str
+    tenants: dict[str, TenantStats]
+    latency: LatencyHistogram
+    epochs: int
+    reconfigs: int
+    health_reconfig_requests: int
+    degraded_windows: list[list[int]]
+    final_health: dict | None = None
+    drained_queued: int = 0
+    resumed_skips: int = 0
+    sim: SimulationReport | None = None
+
+    # -- aggregate views ------------------------------------------------
+
+    def _total(self, field_name: str) -> int:
+        return sum(getattr(t, field_name) for t in self.tenants.values())
+
+    @property
+    def submitted(self) -> int:
+        return self._total("submitted")
+
+    @property
+    def admitted(self) -> int:
+        return self._total("admitted")
+
+    @property
+    def rejected(self) -> int:
+        return self._total("rejected")
+
+    @property
+    def shed(self) -> int:
+        return self._total("shed")
+
+    @property
+    def timed_out(self) -> int:
+        return self._total("timed_out")
+
+    @property
+    def completed(self) -> int:
+        return self._total("completed")
+
+    # -- serialization --------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "tenants": {
+                name: stats.to_json()
+                for name, stats in sorted(self.tenants.items())
+            },
+            "latency": self.latency.to_json(),
+            "latency_percentiles": self.latency.percentiles(),
+            "epochs": self.epochs,
+            "reconfigs": self.reconfigs,
+            "health_reconfig_requests": self.health_reconfig_requests,
+            "degraded_windows": self.degraded_windows,
+            "final_health": self.final_health,
+            "drained_queued": self.drained_queued,
+            "resumed_skips": self.resumed_skips,
+            "totals": {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "timed_out": self.timed_out,
+                "completed": self.completed,
+            },
+            "sim": self.sim.to_json() if self.sim is not None else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ServeReport":
+        sim = data.get("sim")
+        return cls(
+            scenario=data.get("scenario", ""),
+            tenants={
+                name: TenantStats.from_json(stats)
+                for name, stats in data.get("tenants", {}).items()
+            },
+            latency=LatencyHistogram.from_json(
+                data.get("latency", LatencyHistogram().to_json())
+            ),
+            epochs=int(data.get("epochs", 0)),
+            reconfigs=int(data.get("reconfigs", 0)),
+            health_reconfig_requests=int(
+                data.get("health_reconfig_requests", 0)
+            ),
+            degraded_windows=[
+                [int(a), int(b)] for a, b in data.get("degraded_windows", [])
+            ],
+            final_health=data.get("final_health"),
+            drained_queued=int(data.get("drained_queued", 0)),
+            resumed_skips=int(data.get("resumed_skips", 0)),
+            sim=SimulationReport.from_json(sim) if sim else None,
+        )
+
+    def summary(self) -> str:
+        """Human-oriented multi-line rollup for the CLI."""
+        pct = self.latency.percentiles()
+        lines = [
+            f"scenario {self.scenario}: {self.epochs} epochs, "
+            f"{self.completed}/{self.submitted} batches completed "
+            f"({self.rejected} rejected, {self.shed} shed, "
+            f"{self.timed_out} timed out, {self.resumed_skips} resumed)",
+            f"  batch latency p50 {pct['p50']:.0f} ns, "
+            f"p99 {pct['p99']:.0f} ns",
+            f"  reconfigs {self.reconfigs} "
+            f"({self.health_reconfig_requests} health-forced requests), "
+            f"degraded windows {self.degraded_windows}",
+        ]
+        for name, stats in sorted(self.tenants.items()):
+            tp = stats.latency.percentiles()
+            lines.append(
+                f"  tenant {name}: {stats.completed}/{stats.submitted} ok, "
+                f"{stats.rejected} rejected, {stats.shed} shed, "
+                f"{stats.timed_out} timed out, p99 {tp['p99']:.0f} ns"
+            )
+        return "\n".join(lines)

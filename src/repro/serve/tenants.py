@@ -1,0 +1,83 @@
+"""Tenant identity, request batches, and bounded ingress queues.
+
+A *tenant* is a named traffic source with a priority, an ingress-queue
+quota, and an optional per-batch deadline.  Tenants share the stream
+namespace of the underlying workload — the serving loop multiplexes
+*who sent the traffic*, not what data it touches — which mirrors the
+multi-tenant NDP framing (M2NDP): many concurrent request streams of
+differing priority sharing one pool of near-data capacity.
+
+A :class:`Batch` is the serving unit of work: one contiguous slice of
+request trace that the engine processes as one epoch.  The slice is
+identified by ``(start, stop)`` offsets into the scenario's source
+trace, so a journaled batch can be reconstructed after a restart
+without serializing any arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's contract with the serving loop.
+
+    * ``priority`` — higher is more important: the scheduler serves
+      higher-priority queues first and the load shedder drops
+      lower-priority batches first.
+    * ``max_queued`` — ingress quota; admission rejects a submit that
+      would exceed it (``None`` falls back to the loop default).
+    * ``deadline_ns`` — simulated-time budget per batch from admission
+      to completion; a queued batch whose deadline passes is dropped and
+      counted as timed out (``None`` disables deadlines).
+    """
+
+    name: str
+    priority: int = 0
+    max_queued: int | None = None
+    deadline_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError("deadline_ns must be positive")
+
+
+@dataclass
+class Batch:
+    """One tenant-attributed request batch (one engine epoch of work)."""
+
+    tenant: str
+    batch_id: int
+    trace: Trace
+    start: int = 0
+    stop: int = 0
+    enqueued_ns: float = 0.0
+    deadline_ns: float | None = None
+
+    @property
+    def key(self) -> str:
+        """Journal identity: stable across drain/restart."""
+        return f"{self.tenant}:{self.batch_id}"
+
+
+@dataclass
+class TenantQueue:
+    """One tenant's bounded FIFO ingress queue plus its spec."""
+
+    spec: TenantSpec
+    batches: deque[Batch] = field(default_factory=deque)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def head(self) -> Batch | None:
+        return self.batches[0] if self.batches else None

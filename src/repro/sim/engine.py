@@ -194,240 +194,47 @@ class SimulationEngine:
         self._obs_hist: TierHistogramSet | None = None
         self._obs_spatial: SpatialAccumulator | None = None
 
-    def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
-        recorder = self.recorder
-        # Phase attribution target: the ambient perf tracer when one is
-        # active (`profile` verb, traced bench), else the recorder's
-        # profiler tracer so legacy `trace` output keeps its span table,
-        # else the shared no-op.  Spans never touch simulation state, so
-        # outputs are bit-identical whichever target is live.
+    def _resolve_tracer(self):
+        """Phase attribution target: the ambient perf tracer when one is
+        active (`profile` verb, traced bench), else the recorder's
+        profiler tracer so legacy `trace` output keeps its span table,
+        else the shared no-op.  Spans never touch simulation state, so
+        outputs are bit-identical whichever target is live."""
         tracer = current()
-        if not tracer.enabled and recorder.enabled:
-            tracer = recorder.profiler.tracer
-        self._tracer = tracer
-        policy.bind_recorder(recorder)
+        if not tracer.enabled and self.recorder.enabled:
+            tracer = self.recorder.profiler.tracer
+        return tracer
+
+    def run(self, workload: Workload, policy: DramCachePolicy) -> SimulationReport:
+        tracer = self._resolve_tracer()
         with tracer.span("engine.run"):
-            return self._run(workload, policy, tracer)
+            session = EngineSession(self, workload, policy, tracer)
+            epochs = workload.trace.epochs(self.config.epoch_accesses)
+            if self.options.max_epochs is not None:
+                epochs = epochs[: self.options.max_epochs]
+            # One trace-wide sort yields every epoch's stable-by-core
+            # permutation (the L1 filter's grouping), instead of one sort
+            # — previously one boolean scan per core — per epoch.
+            core_orders = self._epoch_core_orders(epochs)
+            for epoch, order in zip(epochs, core_orders):
+                session.step(epoch, order=order)
+            return session.finish()
 
-    def _run(self, workload, policy, tracer) -> SimulationReport:
-        recorder = self.recorder
-        with tracer.span("policy.setup"):
-            policy.setup(self.config, self.topology, workload)
-        # Per-sid affine flag for the prefetch-overlap (MLP) model.
-        max_sid = max((s.sid for s in workload.streams), default=-1)
-        self._sid_affine = np.zeros(max_sid + 2, dtype=bool)
-        for stream in workload.streams:
-            self._sid_affine[stream.sid] = stream.is_affine
-        epochs = workload.trace.epochs(self.config.epoch_accesses)
-        if self.options.max_epochs is not None:
-            epochs = epochs[: self.options.max_epochs]
-        # One trace-wide sort yields every epoch's stable-by-core
-        # permutation (the L1 filter's grouping), instead of one sort —
-        # previously one boolean scan per core — per epoch.
-        core_orders = self._epoch_core_orders(epochs)
+    def begin_session(
+        self, workload: Workload, policy: DramCachePolicy
+    ) -> "EngineSession":
+        """Open an incremental session: the serving-loop entry point.
 
-        # The trace may carry more logical cores (threads) than the system
-        # has physical units; threads are assigned round-robin and a
-        # unit's time is the sum of its threads' times (in-order cores).
-        n_threads = max(workload.trace.n_cores, 1)
-        core_stall_ns = np.zeros(n_threads)
-        core_accesses = np.zeros(n_threads, dtype=np.int64)
-        self._thread_units = np.arange(n_threads, dtype=np.int64) % self.config.n_units
-        self._ext_accesses = 0
-        self._ext_lane_accesses = {}
-        self._inter_stack_bytes = 0
-        self.fault_state = (
-            FaultState(self.fault_schedule, self.config, recorder=recorder)
-            if self.fault_schedule is not None
-            else None
-        )
-        self.extended.effective_lanes = self.config.cxl.lanes
-        breakdown = LatencyBreakdown()
-        energy = EnergyBreakdown()
-        hits = HitStats()
-        movements = 0
-        invalidations = 0
-        per_epoch_cycles: list[float] = []
-        timeline = Timeline() if recorder.enabled else None
-        if recorder.enabled:
-            self._obs_hist = TierHistogramSet()
-            self._obs_spatial = SpatialAccumulator(
-                self.config.n_units, self.topology.unit_stack
-            )
-        else:
-            self._obs_hist = None
-            self._obs_spatial = None
-
-        for epoch_idx, epoch in enumerate(epochs):
-            with tracer.span("engine.epoch", epoch=epoch_idx):
-                events = None
-                epoch_movements = 0
-                epoch_invalidations = 0
-                if recorder.enabled:
-                    # Snapshot the accumulators so this epoch's deltas can be
-                    # attributed to one timeline record.
-                    with tracer.span("engine.observability"):
-                        prev_hits = replace(hits)
-                        prev_breakdown = replace(breakdown)
-                        prev_energy = replace(energy)
-                        prev_ext = self._ext_accesses
-                        prev_inter = self._inter_stack_bytes
-                        prev_demoted = (
-                            self.fault_state.report.demoted_requests
-                            if self.fault_state is not None
-                            else 0
-                        )
-                if self.fault_state is not None:
-                    with tracer.span("engine.fault_hooks"):
-                        events = self.fault_state.advance(epoch_idx)
-                        self.extended.effective_lanes = (
-                            self.fault_state.effective_lanes
-                        )
-                        if not events.empty:
-                            with tracer.span("policy.on_faults"):
-                                fstats = policy.on_faults(
-                                    epoch_idx, events, self.fault_state
-                                )
-                            epoch_movements += fstats.movements
-                            epoch_invalidations += fstats.invalidations
-                            self.fault_state.report.fault_movements += (
-                                fstats.movements
-                            )
-                            self.fault_state.report.fault_invalidations += (
-                                fstats.invalidations
-                            )
-                with tracer.span("policy.begin_epoch"):
-                    stats = policy.begin_epoch(epoch_idx)
-                epoch_movements += stats.movements
-                epoch_invalidations += stats.invalidations
-                movements += epoch_movements
-                invalidations += epoch_invalidations
-
-                with tracer.span("engine.l1_filter"):
-                    post_l1, l1_result = self._l1_filter(
-                        epoch, order=core_orders[epoch_idx]
-                    )
-                    hits.l1_hits += l1_result["hits"]
-                    l1_ns = l1_result["hits"] * self.config.core.l1d.hit_ns
-                    breakdown.sram_ns += l1_ns
-                    energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ / L1 access
-                    np.add.at(core_accesses, epoch.core, 1)
-                    np.add.at(
-                        core_stall_ns,
-                        epoch.core[l1_result["mask"]],
-                        self.config.core.l1d.hit_ns,
-                    )
-
-                if len(post_l1):
-                    with tracer.span("policy.process"):
-                        outcome = policy.process(post_l1)
-                    if self.fault_state is not None and self.fault_state.degraded:
-                        self.fault_state.demote(outcome)
-                    with tracer.span("engine.charge"):
-                        # Per-epoch invariants every charge/queue step needs,
-                        # computed once instead of once per consumer.
-                        core_unit = (
-                            post_l1.core.astype(np.int64) % self.config.n_units
-                        )
-                        in_stream = post_l1.sid >= 0
-                        affine = (
-                            self._sid_affine[
-                                np.clip(post_l1.sid, -1, len(self._sid_affine) - 2)
-                            ]
-                            & in_stream
-                        )
-                        epoch_stall, ext_mask, n_ext = self._charge(
-                            post_l1,
-                            outcome,
-                            breakdown,
-                            energy,
-                            hits,
-                            core_unit=core_unit,
-                            in_stream=in_stream,
-                            affine=affine,
-                        )
-                    with tracer.span("engine.queueing"):
-                        queue_ns = self._queueing_delay(
-                            post_l1,
-                            epoch_stall,
-                            ext_mask,
-                            workload,
-                            unit=core_unit,
-                            n_ext=n_ext,
-                        )
-                        if queue_ns > 0:
-                            observed = np.full(len(post_l1), queue_ns)
-                            observed[affine] /= AFFINE_MLP
-                            observed[in_stream & ~affine] /= self.config.indirect_mlp
-                            epoch_stall[ext_mask] += observed[ext_mask]
-                            breakdown.extended_ns += queue_ns * n_ext
-                        np.add.at(core_stall_ns, post_l1.core, epoch_stall)
-                else:
-                    outcome = None
-
-                if outcome is not None:
-                    with tracer.span("policy.end_epoch"):
-                        policy.end_epoch(epoch_idx, post_l1, outcome)
-                with tracer.span("engine.runtime_model"):
-                    per_epoch_cycles.append(
-                        self._runtime_cycles(core_stall_ns, core_accesses, workload)
-                    )
-
-                if recorder.enabled:
-                    with tracer.span("engine.observability"):
-                        self._append_epoch_record(
-                            timeline,
-                            recorder,
-                            epoch_idx=epoch_idx,
-                            epoch=epoch,
-                            post_l1=post_l1,
-                            hits=hits - prev_hits,
-                            breakdown=breakdown - prev_breakdown,
-                            energy=energy - prev_energy,
-                            ext_delta=self._ext_accesses - prev_ext,
-                            inter_delta=self._inter_stack_bytes - prev_inter,
-                            prev_demoted=prev_demoted,
-                            epoch_movements=epoch_movements,
-                            epoch_invalidations=epoch_invalidations,
-                            events=events,
-                            cycles_total=per_epoch_cycles[-1],
-                        )
-
-        with tracer.span("engine.runtime_model"):
-            runtime_cycles = self._runtime_cycles(
-                core_stall_ns, core_accesses, workload
-            )
-        runtime_ns = runtime_cycles * self.config.core.cycle_ns
-        energy.static_nj += STATIC_W_PER_UNIT * self.config.n_units * runtime_ns
-        tier_histograms = None
-        spatial = None
-        if recorder.enabled:
-            with tracer.span("engine.observability"):
-                recorder.gauge("engine.runtime_cycles", runtime_cycles)
-                recorder.gauge("engine.static_nj", energy.static_nj)
-                recorder.counter("engine.epochs", len(per_epoch_cycles))
-                tier_histograms = self._obs_hist.histograms()
-                spatial = self._obs_spatial.to_report()
-                for tier_name, hist in tier_histograms.items():
-                    recorder.event("histogram", tier=tier_name, **hist.to_json())
-                recorder.event("spatial", **spatial.to_json())
-                recorder.gauge("engine.load_imbalance", spatial.load_imbalance)
-
-        return SimulationReport(
-            policy=policy.name,
-            workload=workload.name,
-            runtime_cycles=runtime_cycles,
-            breakdown=breakdown,
-            energy=energy,
-            hits=hits,
-            reconfig_movements=movements,
-            reconfig_invalidations=invalidations,
-            per_epoch_cycles=per_epoch_cycles,
-            faults=self.fault_state.report if self.fault_state else None,
-            timeline=timeline,
-            tier_histograms=tier_histograms,
-            spatial=spatial,
-        )
+        Epoch traces are then fed one at a time through
+        :meth:`EngineSession.step` — the engine does not need the whole
+        trace up front — and :meth:`EngineSession.finish` produces the
+        same :class:`SimulationReport` the batch :meth:`run` would.
+        ``workload`` supplies the stream table, thread count, and
+        compute cost; its trace is only consulted for ``n_cores``, so a
+        serving caller may slice request batches from it at any
+        granularity (or from elsewhere entirely).
+        """
+        return EngineSession(self, workload, policy, self._resolve_tracer())
 
     def _append_epoch_record(
         self,
@@ -823,3 +630,324 @@ class SimulationEngine:
         hits.cache_hits_remote += int((hit & cached & (serving != core_unit)).sum())
         hits.cache_misses += n_ext
         return stall, goes_ext, n_ext
+
+
+@dataclass
+class StepStats:
+    """What one incremental epoch step did (deltas, not totals).
+
+    Returned by :meth:`EngineSession.step` so a serving loop can account
+    per-batch latency and health without waiting for the final report.
+    All latency/hit fields are this step's contribution alone.
+    """
+
+    epoch: int
+    requests: int
+    post_l1_requests: int
+    hits: HitStats
+    movements: int
+    invalidations: int
+    fault_events: EpochFaults | None
+    demoted_requests: int
+    cycles_total: float
+
+
+class EngineSession:
+    """One simulation run, advanced one epoch at a time.
+
+    Owns every accumulator the old monolithic run loop kept on its
+    stack, so the batch path (``SimulationEngine.run``) and a serving
+    loop (``SimulationEngine.begin_session``) share a single code path:
+    feeding the same epoch traces in the same order is bit-identical by
+    construction.  ``step`` processes one epoch trace; ``finish`` closes
+    the run and builds the :class:`SimulationReport`.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        workload: Workload,
+        policy: DramCachePolicy,
+        tracer=None,
+    ) -> None:
+        self.engine = engine
+        self.workload = workload
+        self.policy = policy
+        self.tracer = tracer if tracer is not None else engine._resolve_tracer()
+        engine._tracer = self.tracer
+        recorder = engine.recorder
+        self.recorder = recorder
+        policy.bind_recorder(recorder)
+        with self.tracer.span("policy.setup"):
+            policy.setup(engine.config, engine.topology, workload)
+        # Per-sid affine flag for the prefetch-overlap (MLP) model.
+        max_sid = max((s.sid for s in workload.streams), default=-1)
+        engine._sid_affine = np.zeros(max_sid + 2, dtype=bool)
+        for stream in workload.streams:
+            engine._sid_affine[stream.sid] = stream.is_affine
+
+        # The trace may carry more logical cores (threads) than the system
+        # has physical units; threads are assigned round-robin and a
+        # unit's time is the sum of its threads' times (in-order cores).
+        n_threads = max(workload.trace.n_cores, 1)
+        self.core_stall_ns = np.zeros(n_threads)
+        self.core_accesses = np.zeros(n_threads, dtype=np.int64)
+        engine._thread_units = (
+            np.arange(n_threads, dtype=np.int64) % engine.config.n_units
+        )
+        engine._ext_accesses = 0
+        engine._ext_lane_accesses = {}
+        engine._inter_stack_bytes = 0
+        engine.fault_state = (
+            FaultState(engine.fault_schedule, engine.config, recorder=recorder)
+            if engine.fault_schedule is not None
+            else None
+        )
+        engine.extended.effective_lanes = engine.config.cxl.lanes
+        self.breakdown = LatencyBreakdown()
+        self.energy = EnergyBreakdown()
+        self.hits = HitStats()
+        self.movements = 0
+        self.invalidations = 0
+        self.per_epoch_cycles: list[float] = []
+        self.timeline = Timeline() if recorder.enabled else None
+        if recorder.enabled:
+            engine._obs_hist = TierHistogramSet()
+            engine._obs_spatial = SpatialAccumulator(
+                engine.config.n_units, engine.topology.unit_stack
+            )
+        else:
+            engine._obs_hist = None
+            engine._obs_spatial = None
+        self.epoch_idx = 0
+        self._finished = False
+
+    def step(self, epoch: Trace, order: np.ndarray | None = None) -> StepStats:
+        """Run one epoch trace through the full engine pipeline.
+
+        ``order`` accepts the precomputed stable-by-core permutation when
+        the caller sorted the whole trace at once (the batch path);
+        serving callers leave it ``None`` and the per-epoch sort —
+        keyed identically — produces the same permutation.
+        """
+        if self._finished:
+            raise RuntimeError("EngineSession already finished")
+        engine = self.engine
+        tracer = self.tracer
+        recorder = self.recorder
+        breakdown = self.breakdown
+        energy = self.energy
+        hits = self.hits
+        epoch_idx = self.epoch_idx
+        self.epoch_idx += 1
+        if order is None:
+            order = engine._epoch_core_orders([epoch])[0]
+
+        with tracer.span("engine.epoch", epoch=epoch_idx):
+            events = None
+            epoch_movements = 0
+            epoch_invalidations = 0
+            # Snapshot the accumulators so this step's deltas can be
+            # attributed to one timeline record / StepStats.  Pure
+            # dataclass copies: they never perturb simulation state.
+            prev_hits = replace(hits)
+            prev_demoted = (
+                engine.fault_state.report.demoted_requests
+                if engine.fault_state is not None
+                else 0
+            )
+            if recorder.enabled:
+                with tracer.span("engine.observability"):
+                    prev_breakdown = replace(breakdown)
+                    prev_energy = replace(energy)
+                    prev_ext = engine._ext_accesses
+                    prev_inter = engine._inter_stack_bytes
+            if engine.fault_state is not None:
+                with tracer.span("engine.fault_hooks"):
+                    events = engine.fault_state.advance(epoch_idx)
+                    engine.extended.effective_lanes = (
+                        engine.fault_state.effective_lanes
+                    )
+                    if not events.empty:
+                        with tracer.span("policy.on_faults"):
+                            fstats = self.policy.on_faults(
+                                epoch_idx, events, engine.fault_state
+                            )
+                        epoch_movements += fstats.movements
+                        epoch_invalidations += fstats.invalidations
+                        engine.fault_state.report.fault_movements += (
+                            fstats.movements
+                        )
+                        engine.fault_state.report.fault_invalidations += (
+                            fstats.invalidations
+                        )
+            with tracer.span("policy.begin_epoch"):
+                stats = self.policy.begin_epoch(epoch_idx)
+            epoch_movements += stats.movements
+            epoch_invalidations += stats.invalidations
+            self.movements += epoch_movements
+            self.invalidations += epoch_invalidations
+
+            with tracer.span("engine.l1_filter"):
+                post_l1, l1_result = engine._l1_filter(epoch, order=order)
+                hits.l1_hits += l1_result["hits"]
+                l1_ns = l1_result["hits"] * engine.config.core.l1d.hit_ns
+                breakdown.sram_ns += l1_ns
+                energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ / L1 access
+                np.add.at(self.core_accesses, epoch.core, 1)
+                np.add.at(
+                    self.core_stall_ns,
+                    epoch.core[l1_result["mask"]],
+                    engine.config.core.l1d.hit_ns,
+                )
+
+            if len(post_l1):
+                with tracer.span("policy.process"):
+                    outcome = self.policy.process(post_l1)
+                if engine.fault_state is not None and engine.fault_state.degraded:
+                    engine.fault_state.demote(outcome)
+                with tracer.span("engine.charge"):
+                    # Per-epoch invariants every charge/queue step needs,
+                    # computed once instead of once per consumer.
+                    core_unit = (
+                        post_l1.core.astype(np.int64) % engine.config.n_units
+                    )
+                    in_stream = post_l1.sid >= 0
+                    affine = (
+                        engine._sid_affine[
+                            np.clip(
+                                post_l1.sid, -1, len(engine._sid_affine) - 2
+                            )
+                        ]
+                        & in_stream
+                    )
+                    epoch_stall, ext_mask, n_ext = engine._charge(
+                        post_l1,
+                        outcome,
+                        breakdown,
+                        energy,
+                        hits,
+                        core_unit=core_unit,
+                        in_stream=in_stream,
+                        affine=affine,
+                    )
+                with tracer.span("engine.queueing"):
+                    queue_ns = engine._queueing_delay(
+                        post_l1,
+                        epoch_stall,
+                        ext_mask,
+                        self.workload,
+                        unit=core_unit,
+                        n_ext=n_ext,
+                    )
+                    if queue_ns > 0:
+                        observed = np.full(len(post_l1), queue_ns)
+                        observed[affine] /= AFFINE_MLP
+                        observed[in_stream & ~affine] /= (
+                            engine.config.indirect_mlp
+                        )
+                        epoch_stall[ext_mask] += observed[ext_mask]
+                        breakdown.extended_ns += queue_ns * n_ext
+                    np.add.at(self.core_stall_ns, post_l1.core, epoch_stall)
+            else:
+                outcome = None
+
+            if outcome is not None:
+                with tracer.span("policy.end_epoch"):
+                    self.policy.end_epoch(epoch_idx, post_l1, outcome)
+            with tracer.span("engine.runtime_model"):
+                self.per_epoch_cycles.append(
+                    engine._runtime_cycles(
+                        self.core_stall_ns, self.core_accesses, self.workload
+                    )
+                )
+
+            if recorder.enabled:
+                with tracer.span("engine.observability"):
+                    engine._append_epoch_record(
+                        self.timeline,
+                        recorder,
+                        epoch_idx=epoch_idx,
+                        epoch=epoch,
+                        post_l1=post_l1,
+                        hits=hits - prev_hits,
+                        breakdown=breakdown - prev_breakdown,
+                        energy=energy - prev_energy,
+                        ext_delta=engine._ext_accesses - prev_ext,
+                        inter_delta=engine._inter_stack_bytes - prev_inter,
+                        prev_demoted=prev_demoted,
+                        epoch_movements=epoch_movements,
+                        epoch_invalidations=epoch_invalidations,
+                        events=events,
+                        cycles_total=self.per_epoch_cycles[-1],
+                    )
+
+        return StepStats(
+            epoch=epoch_idx,
+            requests=len(epoch),
+            post_l1_requests=len(post_l1),
+            hits=hits - prev_hits,
+            movements=epoch_movements,
+            invalidations=epoch_invalidations,
+            fault_events=events,
+            demoted_requests=(
+                engine.fault_state.report.demoted_requests - prev_demoted
+                if engine.fault_state is not None
+                else 0
+            ),
+            cycles_total=self.per_epoch_cycles[-1],
+        )
+
+    @property
+    def cycles_total(self) -> float:
+        """Simulated cycles elapsed so far (the serving loop's clock)."""
+        if self.per_epoch_cycles:
+            return self.per_epoch_cycles[-1]
+        return 0.0
+
+    def finish(self) -> SimulationReport:
+        """Close the run: final runtime model, static energy, report."""
+        if self._finished:
+            raise RuntimeError("EngineSession already finished")
+        self._finished = True
+        engine = self.engine
+        tracer = self.tracer
+        recorder = self.recorder
+        energy = self.energy
+        with tracer.span("engine.runtime_model"):
+            runtime_cycles = engine._runtime_cycles(
+                self.core_stall_ns, self.core_accesses, self.workload
+            )
+        runtime_ns = runtime_cycles * engine.config.core.cycle_ns
+        energy.static_nj += (
+            STATIC_W_PER_UNIT * engine.config.n_units * runtime_ns
+        )
+        tier_histograms = None
+        spatial = None
+        if recorder.enabled:
+            with tracer.span("engine.observability"):
+                recorder.gauge("engine.runtime_cycles", runtime_cycles)
+                recorder.gauge("engine.static_nj", energy.static_nj)
+                recorder.counter("engine.epochs", len(self.per_epoch_cycles))
+                tier_histograms = engine._obs_hist.histograms()
+                spatial = engine._obs_spatial.to_report()
+                for tier_name, hist in tier_histograms.items():
+                    recorder.event("histogram", tier=tier_name, **hist.to_json())
+                recorder.event("spatial", **spatial.to_json())
+                recorder.gauge("engine.load_imbalance", spatial.load_imbalance)
+
+        return SimulationReport(
+            policy=self.policy.name,
+            workload=self.workload.name,
+            runtime_cycles=runtime_cycles,
+            breakdown=self.breakdown,
+            energy=energy,
+            hits=self.hits,
+            reconfig_movements=self.movements,
+            reconfig_invalidations=self.invalidations,
+            per_epoch_cycles=self.per_epoch_cycles,
+            faults=engine.fault_state.report if engine.fault_state else None,
+            timeline=self.timeline,
+            tier_histograms=tier_histograms,
+            spatial=spatial,
+        )

@@ -1,0 +1,126 @@
+"""Serve events in traces (schema 2) and the serving Prometheus export."""
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION, Recorder, read_trace
+from repro.obs.export import serve_prometheus
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.traceio import serve_event_counts, summarize
+from repro.serve import ServeReport, TenantStats
+
+
+def _trace_with(tmp_path, events):
+    rec = Recorder(workload="pr", policy="ndpext")
+    for kind, fields in events:
+        rec.event(kind, **fields)
+    path = tmp_path / "trace.jsonl"
+    rec.write_jsonl(str(path))
+    return read_trace(str(path))
+
+
+class TestServeEventCounts:
+    def test_schema_was_bumped_for_serve_events(self):
+        assert SCHEMA_VERSION == 2
+
+    def test_counts_well_formed_events(self, tmp_path):
+        trace = _trace_with(
+            tmp_path,
+            [
+                ("serve_shed", {"tenant": "a", "batch": 1, "priority": 0}),
+                ("serve_shed", {"tenant": "b", "batch": 2, "priority": 1}),
+                ("serve_timeout", {"tenant": "a", "batch": 3}),
+                ("serve_degraded", {"state": "degraded"}),
+                ("epoch", {"epoch": 0}),  # unrelated kinds are ignored
+            ],
+        )
+        assert serve_event_counts(trace) == {
+            "serve_shed": 2,
+            "serve_timeout": 1,
+            "serve_degraded": 1,
+        }
+
+    def test_summarize_reports_serve_counters(self, tmp_path):
+        trace = _trace_with(
+            tmp_path,
+            [
+                ("serve_shed", {"tenant": "a", "batch": 1}),
+                ("serve_degraded", {"state": "flapping"}),
+            ],
+        )
+        summary = summarize(trace)
+        assert summary["serve_shed"] == 1
+        assert summary["serve_timeouts"] == 0
+        assert summary["serve_degraded_transitions"] == 1
+
+    @pytest.mark.parametrize(
+        "kind,fields",
+        [
+            ("serve_shed", {"tenant": "a"}),  # missing batch
+            ("serve_timeout", {"batch": 1}),  # missing tenant
+            ("serve_degraded", {"epoch": 3}),  # missing state
+        ],
+    )
+    def test_malformed_event_hard_fails(self, tmp_path, kind, fields):
+        trace = _trace_with(tmp_path, [(kind, fields)])
+        with pytest.raises(ValueError, match=kind):
+            serve_event_counts(trace)
+
+    def test_traces_without_serve_events_summarize_to_zero(self, tmp_path):
+        trace = _trace_with(tmp_path, [("epoch", {"epoch": 0})])
+        summary = summarize(trace)
+        assert summary["serve_shed"] == 0
+        assert summary["serve_degraded_transitions"] == 0
+
+
+def _report():
+    hist = LatencyHistogram()
+    hist.observe([100.0, 2000.0, 50000.0])
+    tenant_hist = LatencyHistogram()
+    tenant_hist.observe([100.0])
+    return ServeReport(
+        scenario="unit",
+        tenants={
+            "interactive": TenantStats(
+                submitted=5, admitted=4, rejected=1, completed=4,
+                latency=tenant_hist,
+            ),
+            "analytics": TenantStats(submitted=3, shed=2, timed_out=1),
+        },
+        latency=hist,
+        epochs=4,
+        reconfigs=2,
+        health_reconfig_requests=1,
+        degraded_windows=[[3, 7]],
+        drained_queued=2,
+    )
+
+
+class TestServePrometheus:
+    def test_outcome_counters_per_tenant(self):
+        text = serve_prometheus(_report())
+        assert (
+            'repro_serve_batches_total{scenario="unit",'
+            'tenant="analytics",outcome="shed"} 2' in text
+        )
+        assert (
+            'repro_serve_batches_total{scenario="unit",'
+            'tenant="interactive",outcome="completed"} 4' in text
+        )
+
+    def test_latency_histogram_and_gauges(self):
+        text = serve_prometheus(_report(), {"preset": "tiny"})
+        assert 'tenant="all"' in text
+        assert "repro_serve_batch_latency_ns_count" in text
+        assert "repro_serve_reconfigs_total" in text
+        # degraded window [3, 7) -> 4 epochs
+        assert "repro_serve_degraded_epochs" in text
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_serve_degraded_epochs{")
+        )
+        assert line.endswith(" 4")
+        assert 'preset="tiny"' in line
+
+    def test_empty_tenant_histograms_are_omitted(self):
+        text = serve_prometheus(_report())
+        assert 'tenant="analytics",le=' not in text

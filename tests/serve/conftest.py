@@ -1,0 +1,65 @@
+"""Shared builders for the serving-loop tests.
+
+Everything runs on the ``tiny`` preset (12k accesses, 3 epochs at the
+native epoch size) so each test simulates milliseconds of work.
+"""
+
+import pytest
+
+from repro.experiments.runner import POLICIES, PRESETS, SCALES
+from repro.serve import Batch, ServeLoop, ServeOptions, TenantSpec
+from repro.sim.engine import EngineOptions, SimulationEngine
+from repro.workloads import build
+
+
+@pytest.fixture()
+def tiny_config():
+    return PRESETS["tiny"]()
+
+
+@pytest.fixture()
+def tiny_workload():
+    return build("pr", SCALES["tiny"])
+
+
+def make_loop(
+    config,
+    workload,
+    tenants,
+    *,
+    faults=None,
+    recorder=None,
+    options=None,
+    journal_path=None,
+    scenario_key="",
+):
+    engine = SimulationEngine(
+        config, EngineOptions(), faults=faults, recorder=recorder
+    )
+    policy = POLICIES["ndpext"]()
+    return ServeLoop(
+        engine,
+        workload,
+        policy,
+        tenants,
+        options=options or ServeOptions(),
+        journal_path=journal_path,
+        scenario_key=scenario_key,
+    )
+
+
+def make_batches(workload, tenant, n, accesses=100, first_id=0):
+    """n small consecutive trace slices attributed to one tenant."""
+    return [
+        Batch(
+            tenant=tenant,
+            batch_id=first_id + i,
+            trace=workload.trace.slice(i * accesses, (i + 1) * accesses),
+            start=i * accesses,
+            stop=(i + 1) * accesses,
+        )
+        for i in range(n)
+    ]
+
+
+__all__ = ["make_loop", "make_batches", "TenantSpec"]

@@ -1,0 +1,83 @@
+"""Admission control and load shedding: pure queue-state decisions."""
+
+from collections import deque
+
+from repro.serve import (
+    REASON_QUOTA,
+    AdmissionController,
+    Batch,
+    TenantQueue,
+    TenantSpec,
+)
+
+
+def _queue(name, priority=0, max_queued=None, batch_ids=()):
+    q = TenantQueue(TenantSpec(name, priority=priority, max_queued=max_queued))
+    q.batches = deque(
+        Batch(tenant=name, batch_id=i, trace=None) for i in batch_ids
+    )
+    return q
+
+
+class TestAdmission:
+    def test_over_quota_rejection_is_deterministic(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=32)
+        for _ in range(3):  # same state -> same answer, every time
+            q = _queue("t", max_queued=2, batch_ids=[0, 1])
+            decision = ctl.admit(q)
+            assert not decision
+            assert decision.reason == REASON_QUOTA
+
+    def test_admits_below_quota(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=32)
+        assert ctl.admit(_queue("t", max_queued=2, batch_ids=[0]))
+
+    def test_default_quota_applies_when_spec_has_none(self):
+        ctl = AdmissionController(default_max_queued=1, max_total_queued=32)
+        assert not ctl.admit(_queue("t", batch_ids=[0]))
+
+
+class TestShedding:
+    def test_sheds_lowest_priority_first(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=4)
+        queues = {
+            "hi": _queue("hi", priority=10, batch_ids=[0, 1, 2]),
+            "lo": _queue("lo", priority=0, batch_ids=[3, 4, 5]),
+        }
+        shed = ctl.select_shed(queues)
+        assert [b.tenant for b in shed] == ["lo", "lo"]
+        # Newest first within the victim tenant: the oldest queued work
+        # (closest to being served) survives.
+        assert [b.batch_id for b in shed] == [5, 4]
+        assert [b.batch_id for b in queues["lo"].batches] == [3]
+        assert len(queues["hi"]) == 3
+
+    def test_equal_priority_sheds_from_longest_queue(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=4)
+        queues = {
+            "a": _queue("a", batch_ids=[0]),
+            "b": _queue("b", batch_ids=[1, 2, 3, 4]),
+        }
+        shed = ctl.select_shed(queues)
+        assert [b.tenant for b in shed] == ["b"]
+        assert shed[0].batch_id == 4
+
+    def test_no_shedding_at_or_under_cap(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=3)
+        queues = {"a": _queue("a", batch_ids=[0, 1, 2])}
+        assert ctl.select_shed(queues) == []
+
+    def test_shed_is_deterministic(self):
+        ctl = AdmissionController(default_max_queued=8, max_total_queued=2)
+
+        def fresh():
+            return {
+                "lo1": _queue("lo1", priority=0, batch_ids=[0, 1]),
+                "lo2": _queue("lo2", priority=0, batch_ids=[2, 3]),
+                "hi": _queue("hi", priority=5, batch_ids=[4]),
+            }
+
+        first = [(b.tenant, b.batch_id) for b in ctl.select_shed(fresh())]
+        second = [(b.tenant, b.batch_id) for b in ctl.select_shed(fresh())]
+        assert first == second
+        assert all(tenant != "hi" for tenant, _ in first)

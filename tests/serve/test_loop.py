@@ -1,0 +1,183 @@
+"""The resident serving loop: scheduling, backpressure, bit-identity."""
+
+import pytest
+
+from repro.experiments.runner import POLICIES
+from repro.obs import Recorder
+from repro.serve import (
+    REASON_DRAINING,
+    REASON_QUOTA,
+    REASON_UNKNOWN_TENANT,
+    ServeOptions,
+    TenantSpec,
+)
+from repro.sim.engine import SimulationEngine
+
+from tests.serve.conftest import make_batches, make_loop
+
+
+class TestBitIdentity:
+    def test_fault_free_serve_matches_batch_run(self, tiny_config, tiny_workload):
+        """A single-tenant serve with no faults is the batch run, fed
+        one epoch at a time — every simulated quantity must match."""
+        batch_report = SimulationEngine(tiny_config).run(
+            tiny_workload, POLICIES["ndpext"]()
+        )
+
+        loop = make_loop(
+            tiny_config,
+            tiny_workload,
+            [TenantSpec("solo", max_queued=100)],
+        )
+        for batch in make_batches(
+            tiny_workload, "solo", n=3, accesses=tiny_config.epoch_accesses
+        ):
+            assert loop.submit(batch)
+        assert loop.run_until_idle() == 3
+        report = loop.finish("bit-identity").sim
+
+        assert report.hits == batch_report.hits
+        assert report.runtime_cycles == batch_report.runtime_cycles
+        assert report.breakdown == batch_report.breakdown
+        assert report.energy == batch_report.energy
+        assert report.reconfig_movements == batch_report.reconfig_movements
+
+    def test_serve_is_replay_deterministic(self, tiny_config, tiny_workload):
+        def one_run():
+            loop = make_loop(
+                tiny_config, tiny_workload, [TenantSpec("solo", max_queued=100)]
+            )
+            for batch in make_batches(tiny_workload, "solo", n=4, accesses=500):
+                loop.submit(batch)
+            loop.run_until_idle()
+            report = loop.finish("replay")
+            return (
+                report.sim.runtime_cycles,
+                report.latency.to_json(),
+                report.tenants["solo"].completed,
+            )
+
+        assert one_run() == one_run()
+
+
+class TestIngress:
+    def test_unknown_tenant_rejected(self, tiny_config, tiny_workload):
+        loop = make_loop(tiny_config, tiny_workload, [TenantSpec("a")])
+        (batch,) = make_batches(tiny_workload, "ghost", n=1)
+        decision = loop.submit(batch)
+        assert not decision and decision.reason == REASON_UNKNOWN_TENANT
+
+    def test_over_quota_rejected_with_event(self, tiny_config, tiny_workload):
+        recorder = Recorder(workload="pr", policy="ndpext")
+        loop = make_loop(
+            tiny_config,
+            tiny_workload,
+            [TenantSpec("t", max_queued=2)],
+            recorder=recorder,
+        )
+        decisions = [
+            loop.submit(b) for b in make_batches(tiny_workload, "t", n=3)
+        ]
+        assert [bool(d) for d in decisions] == [True, True, False]
+        assert decisions[2].reason == REASON_QUOTA
+        stats = loop.stats["t"]
+        assert (stats.submitted, stats.admitted, stats.rejected) == (3, 2, 1)
+        rejects = recorder.events_of("serve_reject")
+        assert len(rejects) == 1 and rejects[0]["batch"] == 2
+
+    def test_draining_rejects_everything(self, tiny_config, tiny_workload):
+        loop = make_loop(tiny_config, tiny_workload, [TenantSpec("t")])
+        b0, b1 = make_batches(tiny_workload, "t", n=2)
+        assert loop.submit(b0)
+        assert loop.drain() == 1
+        decision = loop.submit(b1)
+        assert not decision and decision.reason == REASON_DRAINING
+
+
+class TestShedding:
+    def test_overload_sheds_lowest_priority_newest_first(
+        self, tiny_config, tiny_workload
+    ):
+        recorder = Recorder(workload="pr", policy="ndpext")
+        loop = make_loop(
+            tiny_config,
+            tiny_workload,
+            [
+                TenantSpec("hi", priority=10, max_queued=8),
+                TenantSpec("lo", priority=0, max_queued=8),
+            ],
+            recorder=recorder,
+            options=ServeOptions(max_total_queued=2),
+        )
+        lo0, lo1 = make_batches(tiny_workload, "lo", n=2)
+        (hi0,) = make_batches(tiny_workload, "hi", n=1, first_id=10)
+        assert loop.submit(lo0)
+        assert loop.submit(lo1)
+        assert loop.submit(hi0)  # pushes total to 3 > cap 2
+
+        assert loop.stats["lo"].shed == 1
+        assert loop.stats["hi"].shed == 0
+        # Newest low-priority batch is the victim; the oldest survives.
+        assert [b.batch_id for b in loop.queues["lo"].batches] == [0]
+        shed_events = recorder.events_of("serve_shed")
+        assert len(shed_events) == 1
+        assert shed_events[0]["tenant"] == "lo"
+        assert shed_events[0]["batch"] == 1
+        assert shed_events[0]["priority"] == 0
+
+
+class TestSchedulingAndDeadlines:
+    def test_higher_priority_served_first(self, tiny_config, tiny_workload):
+        loop = make_loop(
+            tiny_config,
+            tiny_workload,
+            [
+                TenantSpec("hi", priority=10, max_queued=8),
+                TenantSpec("lo", priority=0, max_queued=8),
+            ],
+        )
+        (lo0,) = make_batches(tiny_workload, "lo", n=1)
+        (hi0,) = make_batches(tiny_workload, "hi", n=1, first_id=10)
+        loop.submit(lo0)
+        loop.submit(hi0)
+        first = loop.step()
+        assert first.tenant == "hi"
+        second = loop.step()
+        assert second.tenant == "lo"
+
+    def test_expired_deadline_counts_as_timeout(self, tiny_config, tiny_workload):
+        recorder = Recorder(workload="pr", policy="ndpext")
+        loop = make_loop(
+            tiny_config,
+            tiny_workload,
+            [TenantSpec("t", max_queued=8, deadline_ns=1.0)],
+            recorder=recorder,
+        )
+        b0, b1 = make_batches(tiny_workload, "t", n=2, accesses=500)
+        loop.submit(b0)
+        loop.submit(b1)
+        # First step serves b0 (its deadline hasn't passed at now=0) and
+        # advances the simulated clock far beyond b1's 1 ns budget.
+        assert loop.step() is b0
+        assert loop.now_ns > 1.0
+        assert loop.step() is None  # b1 expired, nothing left to serve
+        stats = loop.stats["t"]
+        assert (stats.completed, stats.timed_out) == (1, 1)
+        timeouts = recorder.events_of("serve_timeout")
+        assert len(timeouts) == 1
+        assert timeouts[0]["batch"] == 1
+        assert timeouts[0]["now_ns"] >= timeouts[0]["deadline_ns"]
+
+    def test_finish_is_single_shot(self, tiny_config, tiny_workload):
+        loop = make_loop(tiny_config, tiny_workload, [TenantSpec("t")])
+        loop.finish("once")
+        with pytest.raises(RuntimeError):
+            loop.finish("twice")
+        with pytest.raises(RuntimeError):
+            loop.step()
+
+    def test_duplicate_tenant_names_rejected(self, tiny_config, tiny_workload):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_loop(
+                tiny_config, tiny_workload, [TenantSpec("t"), TenantSpec("t")]
+            )

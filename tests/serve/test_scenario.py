@@ -1,0 +1,181 @@
+"""End-to-end scenarios: Zipfian skew, fault storms, drain/resume."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Recorder, read_trace
+from repro.obs.traceio import serve_event_counts, summarize
+from repro.serve import (
+    ServeHarness,
+    ServeScenario,
+    TenantSpec,
+    two_tenant_scenario,
+)
+
+STORM = {
+    "unit_failures": 1,
+    "row_faults": 1,
+    "crc_bursts": 1,
+    "downtrains": 1,
+}
+
+
+class TestScenarioShape:
+    def test_zipfian_assignment_is_seeded_and_skewed(self):
+        scenario = ServeScenario(
+            name="skew",
+            tenants=(TenantSpec("hot"), TenantSpec("cold")),
+            zipf_s=1.5,
+            seed=7,
+        )
+        a = scenario.tenant_assignment(400)
+        assert a == scenario.tenant_assignment(400)  # same seed -> same mix
+        counts = {name: a.count(name) for name in ("hot", "cold")}
+        assert counts["hot"] > counts["cold"]
+
+    def test_phase_shift_inverts_the_hot_tenant(self):
+        scenario = ServeScenario(
+            name="shift",
+            tenants=(TenantSpec("hot"), TenantSpec("cold")),
+            zipf_s=1.5,
+            seed=7,
+            phase_shift_at=0.5,
+        )
+        a = scenario.tenant_assignment(400)
+        first, second = a[:200], a[200:]
+        assert first.count("hot") > first.count("cold")
+        assert second.count("cold") > second.count("hot")
+
+    def test_identity_key_ignores_pacing(self):
+        base = dict(name="x", tenants=(TenantSpec("t"),), seed=3)
+        slow = ServeScenario(**base, wave_size=2, steps_per_wave=1)
+        fast = ServeScenario(**base, wave_size=16, drain_after_batches=4)
+        assert slow.identity_key("tiny") == fast.identity_key("tiny")
+        other = ServeScenario(**{**base, "seed": 4})
+        assert other.identity_key("tiny") != slow.identity_key("tiny")
+
+    def test_rejects_empty_tenant_roster(self):
+        with pytest.raises(ValueError):
+            ServeScenario(name="none", tenants=())
+
+
+class TestFaultStorm:
+    def test_storm_completes_with_degraded_windows(self):
+        """The acceptance scenario: injected fault storm, no unhandled
+        exception, accounted outcomes, >= 1 health-gated reconfig."""
+        recorder = Recorder(workload="pr", policy="ndpext")
+        scenario = two_tenant_scenario(
+            name="storm",
+            batch_accesses=500,
+            wave_size=6,
+            steps_per_wave=3,
+            faults=STORM,
+        )
+        report = ServeHarness(scenario, preset="tiny", recorder=recorder).run()
+
+        assert report.submitted == 24
+        assert report.completed > 0
+        # Every submitted batch reached exactly one accounted outcome.
+        assert (
+            report.completed
+            + report.rejected
+            + report.shed
+            + report.timed_out
+            == report.submitted
+        )
+        assert report.degraded_windows, "storm must open a degraded window"
+        assert report.health_reconfig_requests >= 1
+        assert report.reconfigs >= 1
+        assert report.final_health is not None
+        assert report.final_health["dead_units"] >= 1
+
+    def test_storm_trace_events_validate(self, tmp_path):
+        recorder = Recorder(workload="pr", policy="ndpext")
+        scenario = two_tenant_scenario(
+            name="storm-trace",
+            batch_accesses=500,
+            wave_size=6,
+            steps_per_wave=3,
+            faults=STORM,
+        )
+        ServeHarness(scenario, preset="tiny", recorder=recorder).run()
+        path = tmp_path / "storm.jsonl"
+        recorder.write_jsonl(str(path))
+        trace = read_trace(str(path))
+        counts = serve_event_counts(trace)
+        assert counts["serve_degraded"] >= 1
+        summary = summarize(trace)
+        assert summary["serve_degraded_transitions"] == counts["serve_degraded"]
+
+    def test_storm_report_round_trips_json(self):
+        scenario = two_tenant_scenario(
+            name="roundtrip", batch_accesses=500, faults=STORM
+        )
+        report = ServeHarness(scenario, preset="tiny").run()
+        from repro.serve import ServeReport
+
+        clone = ServeReport.from_json(report.to_json())
+        assert clone.to_json() == report.to_json()
+
+
+class TestDrainResume:
+    def test_resume_recomputes_nothing_journaled(self, tmp_path):
+        journal = tmp_path / "serve.jsonl"
+        solo = (TenantSpec("solo", max_queued=100),)
+        common = dict(
+            name="resume", tenants=solo, batch_accesses=500, seed=0
+        )
+        # Run 1: submit 10 batches, serve only part of them, drain.
+        first = ServeHarness(
+            ServeScenario(
+                **common, wave_size=4, steps_per_wave=2, drain_after_batches=10
+            ),
+            preset="tiny",
+            journal_path=journal,
+        ).run()
+        assert first.completed > 0
+        assert first.drained_queued > 0
+        assert (
+            first.completed + first.drained_queued == 10
+        )  # nothing lost: served or journaled as pending
+
+        # Run 2: same scenario identity, full pacing, same journal.
+        second = ServeHarness(
+            ServeScenario(**common),
+            preset="tiny",
+            journal_path=journal,
+        ).run()
+        assert second.resumed_skips == first.completed
+        assert second.epochs == second.submitted - first.completed
+        assert second.completed + second.resumed_skips == second.submitted
+        assert second.drained_queued == 0
+
+    def test_resumed_run_leaves_no_pending_batches(self, tmp_path):
+        from repro.serve import ServeJournal
+
+        journal = tmp_path / "serve.jsonl"
+        solo = (TenantSpec("solo", max_queued=100),)
+        common = dict(name="resume2", tenants=solo, batch_accesses=1000)
+        scenario = ServeScenario(
+            **common, wave_size=3, steps_per_wave=1, drain_after_batches=6
+        )
+        ServeHarness(scenario, preset="tiny", journal_path=journal).run()
+        ServeHarness(
+            ServeScenario(**common), preset="tiny", journal_path=journal
+        ).run()
+        final = ServeJournal(
+            journal, scenario_key=ServeScenario(**common).identity_key("tiny")
+        )
+        assert final.pending() == []
+
+
+class TestBatchSlicing:
+    def test_batches_tile_the_trace_exactly(self):
+        scenario = two_tenant_scenario(name="tiles", batch_accesses=700)
+        harness = ServeHarness(scenario, preset="tiny")
+        batches = harness.batches()
+        assert batches[0].start == 0
+        assert batches[-1].stop == len(harness.workload.trace)
+        starts = np.array([b.start for b in batches])
+        stops = np.array([b.stop for b in batches])
+        assert (starts[1:] == stops[:-1]).all()
