@@ -82,6 +82,7 @@ import sys
 from repro.experiments import faults, fig2, fig4b, fig5, fig6, fig7, fig8, fig9, sec5d
 from repro.experiments.runner import POLICIES, PRESETS, Cell, ExperimentContext
 from repro.obs import Recorder, diff_rows, read_trace, summarize, summary_rows
+from repro.sim.kernels import BACKENDS
 from repro.sim.metrics import SimulationReport
 from repro.util import render_table
 from repro.workloads import SUITE
@@ -162,6 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries per cell after the first attempt before it is "
         "quarantined into the poison list (default: 2)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="numpy",
+        choices=sorted(BACKENDS),
+        help="engine kernel backend (default: numpy). 'python' is the "
+        "pure-python reference, 'numba' JIT-compiles the keyed scans "
+        "and falls back to numpy with a warning when numba is not "
+        "installed; all backends produce bit-identical reports",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -573,6 +583,7 @@ def cmd_profile(args) -> None:
             jobs=args.jobs,
             timeout_s=args.timeout,
             max_retries=args.max_retries,
+            backend=args.backend,
         )
         with activate(tracer):
             if args.suite:
@@ -682,6 +693,7 @@ def cmd_serve(args) -> None:
         preset=args.preset,
         recorder=recorder,
         journal_path=args.journal,
+        backend=args.backend,
     )
     report = harness.run()
     print(report.summary())
@@ -770,6 +782,7 @@ def main(argv: list[str] | None = None) -> int:
         manifest_path=args.resume,
         timeout_s=args.timeout,
         max_retries=args.max_retries,
+        backend=args.backend,
     )
     if args.command == "run":
         cmd_run(context, args)

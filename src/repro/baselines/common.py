@@ -324,8 +324,8 @@ class PartitionedNucaPolicy(DramCachePolicy):
         c_lines = lines[cached]
         c_pids = pids[cached]
         # Direct-mapped: the last line per set is resident at epoch end.
-        seq = np.arange(len(c_sets))
-        order = np.lexsort((seq, c_sets))
+        # Stable argsort == lexsort((arange, c_sets)), but radix-sorted.
+        order = np.argsort(c_sets, kind="stable")
         last = np.ones(len(order), dtype=bool)
         last[:-1] = c_sets[order][1:] != c_sets[order][:-1]
         keep = order[last]

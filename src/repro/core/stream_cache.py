@@ -562,9 +562,10 @@ class StreamCacheMapper:
         c_tags = tags[cached]
         c_ways = ways[cached]
         seq = np.arange(len(c_sets), dtype=np.int64)
-        # Last occurrence of each (set, tag) pair.
+        # Last occurrence of each (set, tag) pair; stable argsort is the
+        # radix-sorted equivalent of lexsort((seq, pair)).
         pair = _pair_keys(c_sets, c_tags)
-        order = np.lexsort((seq, pair))
+        order = np.argsort(pair, kind="stable")
         last_of_pair = np.ones(len(order), dtype=bool)
         last_of_pair[:-1] = pair[order][1:] != pair[order][:-1]
         keep = order[last_of_pair]

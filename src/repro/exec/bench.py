@@ -125,6 +125,133 @@ def bench_engine(preset: str, workload_name: str, repeats: int) -> dict:
     }
 
 
+def _assert_reports_identical(a, b, context: str) -> None:
+    """Recursive dataclass-field equality — the timed backend runs must
+    produce the same report bit for bit, or the speedup is meaningless."""
+    from dataclasses import fields
+
+    for f in fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if hasattr(va, "__dataclass_fields__"):
+            _assert_reports_identical(va, vb, context)
+        elif va != vb:
+            raise AssertionError(
+                f"{context}: report field {f.name} diverged: {va!r} != {vb!r}"
+            )
+
+
+def _kernel_cell(quick: bool):
+    """The kernel-bound cell the backend speedup is measured on.
+
+    The default bench cell spends much of its wall clock in shared
+    float math (policy configure, miss-curve sampling) that is
+    identical across backends and dilutes the ratio; this cell enlarges
+    the epoch so the keyed scans the backends actually swap dominate.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.runner import PRESETS
+    from repro.workloads import SMALL, TINY, build
+
+    if quick:
+        scale = TINY.scaled(accesses_per_core=12_000)
+        config = replace(PRESETS["tiny"](), epoch_accesses=12_000)
+    else:
+        scale = SMALL.scaled(accesses_per_core=40_000)
+        config = replace(PRESETS["small"](), epoch_accesses=160_000)
+    return build("pr", scale), config
+
+
+def bench_kernels(quick: bool, repeats: int) -> dict:
+    """Per-backend throughput on the kernel-bound cell.
+
+    Every available backend runs the same workload ``repeats`` times
+    (min-of-repeats wall clock on both sides — single runs on this class
+    of shared machine are ±20% noisy) and the reports are asserted
+    bit-identical before any ratio is published.  ``kernel_speedup`` is
+    the headline: numpy kernels over the pure-python reference loops.
+    """
+    from repro.core import NdpExtPolicy
+    from repro.sim import SimulationEngine
+    from repro.sim.engine import EngineOptions
+    from repro.sim.kernels import numba_available
+
+    workload, config = _kernel_cell(quick)
+    n_accesses = len(workload.trace)
+    backend_names = ["numpy", "python"] + (
+        ["numba"] if numba_available() else []
+    )
+    backends: dict = {}
+    reports: dict = {}
+    for name in backend_names:
+        times = []
+        for _ in range(repeats):
+            engine = SimulationEngine(config, EngineOptions(backend=name))
+            dt, report = _time(engine.run, workload, NdpExtPolicy())
+            times.append(dt)
+        best = min(times)
+        reports[name] = report
+        backends[name] = {
+            "seconds_best": best,
+            "seconds_all": times,
+            "accesses_per_second": n_accesses / best if best else 0.0,
+        }
+    for name in backend_names[1:]:
+        _assert_reports_identical(
+            reports["numpy"], reports[name], f"backend numpy vs {name}"
+        )
+    aps_numpy = backends["numpy"]["accesses_per_second"]
+    aps_python = backends["python"]["accesses_per_second"]
+    return {
+        "workload": "pr",
+        "accesses": n_accesses,
+        "epoch_accesses": config.epoch_accesses,
+        "numba_available": numba_available(),
+        "backends": backends,
+        "kernel_speedup": aps_numpy / aps_python if aps_python else 0.0,
+        "reports_identical": True,
+    }
+
+
+def bench_paper(repeats: int) -> dict:
+    """Throughput on a paper-scale *topology*: the full 128-unit mesh
+    with million-access epoch structure, with the workload footprint and
+    trace length scaled down so the cell finishes inside the CI budget
+    (full PAPER scale is a 128M-access, tens-of-GB run).
+    """
+    from repro.core import NdpExtPolicy
+    from repro.experiments.runner import PRESETS
+    from repro.sim import SimulationEngine
+    from repro.sim.params import MB
+    from repro.workloads import PAPER, build
+
+    scale = PAPER.scaled(
+        accesses_per_core=4_096, footprint_bytes=512 * MB
+    )
+    config = PRESETS["paper"]().scaled(
+        epoch_accesses=131_072, unit_cache_bytes=4 * MB
+    )
+    workload = build("mv", scale)
+    n_accesses = len(workload.trace)
+    times = []
+    for _ in range(repeats):
+        dt, _report = _time(
+            SimulationEngine(config).run, workload, NdpExtPolicy()
+        )
+        times.append(dt)
+    best = min(times)
+    return {
+        "preset": "paper",
+        "workload": "mv",
+        "n_units": config.n_units,
+        "accesses": n_accesses,
+        "epoch_accesses": config.epoch_accesses,
+        "sim_seconds_best": best,
+        "sim_seconds_all": times,
+        "accesses_per_second": n_accesses / best if best else 0.0,
+    }
+
+
 def _suite_grid(workloads, policies):
     from repro.experiments.runner import Cell
 
@@ -206,23 +333,94 @@ def run_bench(quick: bool = False, jobs: int | None = None) -> dict:
         "cpu_count": os.cpu_count(),
         "code_stamp": code_stamp()[:16],
         "engine": bench_engine(preset, workloads[0], repeats),
+        "kernels": bench_kernels(quick, max(repeats, 3)),
+        "engine_paper": bench_paper(max(1, repeats - 1)),
         "suite": bench_suite(preset, workloads, policies, jobs),
     }
+
+
+HISTORY_CAP = 20
+
+
+def _history_snapshot(payload: dict) -> dict:
+    """The few headline numbers one bench run contributes to the rolling
+    history carried inside the JSON (flat dotted keys so the regression
+    gate can look them up the same way it reads the live payload)."""
+    from repro.obs.regress import _lookup
+
+    snap = {
+        "date": payload.get("date"),
+        "code_stamp": payload.get("code_stamp"),
+    }
+    for dotted in (
+        "engine.accesses_per_second",
+        "kernels.kernel_speedup",
+        "engine_paper.accesses_per_second",
+    ):
+        value = _lookup(payload, dotted)
+        if value is not None:
+            snap[dotted] = value
+    return snap
+
+
+def roll_history(result: dict, previous: dict | None) -> None:
+    """Attach the rolling throughput history to a fresh bench payload.
+
+    The previous file's history is carried forward with the previous
+    run's own headline numbers appended, capped at :data:`HISTORY_CAP`
+    entries (oldest dropped).  The regression gate compares the fresh
+    run against the *best* of this history, so one slow baseline run
+    can never mask a real regression ratchet-style.
+    """
+    history = []
+    if previous is not None:
+        history = [
+            entry
+            for entry in previous.get("history", [])
+            if isinstance(entry, dict)
+        ]
+        history.append(_history_snapshot(previous))
+    result["history"] = history[-HISTORY_CAP:]
 
 
 def cmd_bench(args) -> None:
     jobs = getattr(args, "jobs", 1)
     result = run_bench(quick=args.quick, jobs=jobs if jobs > 1 else None)
+    previous = None
+    check_path = getattr(args, "check", None)
+    if check_path and os.path.exists(check_path):
+        from repro.obs.regress import load_bench
+
+        try:
+            previous = load_bench(check_path)
+        except ValueError:
+            previous = None
+    roll_history(result, previous)
     out = args.out or f"BENCH_{result['date']}.json"
     with open(out, "w") as f:
         json.dump(result, f, indent=2)
     engine = result["engine"]
+    kernels = result["kernels"]
+    paper = result["engine_paper"]
     suite = result["suite"]
+    backend_row = " / ".join(
+        f"{name} {row['accesses_per_second']:,.0f}/s"
+        for name, row in kernels["backends"].items()
+    )
     print(
         render_table(
             ["metric", "value"],
             [
                 ["engine accesses/s", f"{engine['accesses_per_second']:,.0f}"],
+                ["kernel backends", backend_row],
+                [
+                    "kernel speedup (numpy vs python)",
+                    f"{kernels['kernel_speedup']:.2f}x",
+                ],
+                [
+                    f"paper mesh ({paper['n_units']} units) accesses/s",
+                    f"{paper['accesses_per_second']:,.0f}",
+                ],
                 ["L1 filter speedup (grouped vs legacy)", f"{engine['l1_speedup']:.2f}x"],
                 ["suite cells", str(suite["cells"])],
                 ["suite serial cold", f"{suite['serial_cold_s']:.2f} s"],

@@ -40,7 +40,14 @@ from repro.exec.parallel import (
 from repro.faults import FaultSchedule
 from repro.obs import NullRecorder
 from repro.obs.tracing import current
-from repro.sim import SimulationEngine, SimulationReport, SystemConfig, small, tiny
+from repro.sim import (
+    EngineOptions,
+    SimulationEngine,
+    SimulationReport,
+    SystemConfig,
+    small,
+    tiny,
+)
 from repro.sim.params import medium, paper_hbm, paper_hmc
 from repro.util import geomean
 from repro.workloads import SMALL, TINY, WorkloadScale, build
@@ -113,6 +120,7 @@ class ExperimentContext:
     max_retries: int = 2
     timeout_s: float | None = None
     manifest_path: str | None = None
+    backend: str = "numpy"
     cache_hits_mem: int = 0
     cache_hits_disk: int = 0
     cache_misses: int = 0
@@ -205,16 +213,11 @@ class ExperimentContext:
         scale = scale or self.scale
         key = (name, scale)
         if key not in self._workloads:
-            # The ambient perf tracer wins (profile verb); otherwise the
-            # recorder's profiler keeps its historical span label.
-            tracer = current()
-            span = (
-                tracer.span("workload.build", cat="task")
-                if tracer.enabled
-                else (recorder or NullRecorder()).span("workload.build")
-            )
-            with span:
-                self._workloads[key] = build(name, scale)
+            # No span here: the registry opens workload.build around
+            # actual generation only, so warm TraceCache hits are not
+            # double-counted as build time (they show up as the cache's
+            # trace_load io span instead).
+            self._workloads[key] = build(name, scale)
         return self._workloads[key]
 
     # ------------------------------------------------------------------
@@ -286,6 +289,7 @@ class ExperimentContext:
                 policy_factory=factory,
                 faults=cell.faults,
                 label=label,
+                backend=self.backend,
             )
         return CellTask(
             workload=None,
@@ -295,6 +299,7 @@ class ExperimentContext:
             workload_name=cell.workload,
             scale=scale,
             label=label,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------
@@ -334,6 +339,7 @@ class ExperimentContext:
             factory = policy_factory or POLICIES[policy_name]
             engine = SimulationEngine(
                 cell.config if cell.config is not None else self.config,
+                EngineOptions(backend=self.backend),
                 faults=faults,
                 recorder=recorder,
             )

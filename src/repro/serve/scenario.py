@@ -128,6 +128,7 @@ class ServeHarness:
         preset: str = "tiny",
         recorder: NullRecorder | None = None,
         journal_path=None,
+        backend: str = "numpy",
     ) -> None:
         self.scenario = scenario
         self.preset = preset
@@ -155,7 +156,7 @@ class ServeHarness:
             )
         self.engine = SimulationEngine(
             self.config,
-            EngineOptions(),
+            EngineOptions(backend=backend),
             faults=faults,
             recorder=recorder,
         )

@@ -18,11 +18,19 @@ All three are exact functional simulations of their stated policy — the
 approximation relative to the paper is only in the choice of policy
 (FIFO-in-set vs. true LRU, window vs. true stack distance), which is a
 standard low-cost substitution documented in DESIGN.md.
+
+The heavy lifting lives in :mod:`repro.sim.kernels`: this module keeps
+the validation and documentation and delegates each scan to the ambient
+kernel backend (:func:`repro.sim.kernels.active`), so the engine's
+``--backend`` selection covers every policy and cache model without
+threading a backend object through them.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .kernels import active
 
 
 def _prev_in_group(group: np.ndarray, value: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -32,30 +40,7 @@ def _prev_in_group(group: np.ndarray, value: np.ndarray) -> tuple[np.ndarray, np
     Returns (prev_index, prev_value) where ``prev_index`` is -1 when the
     access is the first to touch its group.
     """
-    n = len(group)
-    if n == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    idx = np.arange(n, dtype=np.int64)
-    order = np.lexsort((idx, group))
-    sorted_group = group[order]
-    sorted_idx = idx[order]
-    sorted_value = value[order]
-
-    same_group = np.empty(n, dtype=bool)
-    same_group[0] = False
-    same_group[1:] = sorted_group[1:] == sorted_group[:-1]
-
-    prev_idx_sorted = np.full(n, -1, dtype=np.int64)
-    prev_val_sorted = np.zeros(n, dtype=value.dtype)
-    prev_idx_sorted[1:][same_group[1:]] = sorted_idx[:-1][same_group[1:]]
-    prev_val_sorted[1:][same_group[1:]] = sorted_value[:-1][same_group[1:]]
-
-    prev_idx = np.empty(n, dtype=np.int64)
-    prev_val = np.empty(n, dtype=value.dtype)
-    prev_idx[order] = prev_idx_sorted
-    prev_val[order] = prev_val_sorted
-    return prev_idx, prev_val
+    return active().prev_in_group(np.asarray(group), np.asarray(value))
 
 
 def direct_mapped_hits(slots: np.ndarray, tags: np.ndarray) -> np.ndarray:
@@ -69,8 +54,7 @@ def direct_mapped_hits(slots: np.ndarray, tags: np.ndarray) -> np.ndarray:
     tags = np.asarray(tags)
     if slots.shape != tags.shape:
         raise ValueError("slots and tags must have the same shape")
-    prev_idx, prev_tag = _prev_in_group(slots, tags)
-    return (prev_idx >= 0) & (prev_tag == tags)
+    return active().direct_mapped_hits(slots, tags)
 
 
 def set_assoc_hits(sets: np.ndarray, tags: np.ndarray, ways: int) -> np.ndarray:
@@ -96,8 +80,7 @@ def set_assoc_hits(sets: np.ndarray, tags: np.ndarray, ways: int) -> np.ndarray:
     if ways == 1:
         return direct_mapped_hits(sets, tags)
 
-    idx = np.arange(n, dtype=np.int64)
-    order = np.lexsort((idx, sets))
+    order = np.argsort(sets, kind="stable")
     s_set = sets[order]
     s_tag = tags[order]
 
@@ -158,9 +141,10 @@ def recency_hits(keys: np.ndarray, window: int) -> np.ndarray:
     n = len(keys)
     if n == 0 or window == 0:
         return np.zeros(n, dtype=bool)
-    prev_idx, _ = _prev_in_group(keys, keys)
-    idx = np.arange(n, dtype=np.int64)
-    return (prev_idx >= 0) & (idx - prev_idx <= window)
+    # Window-LRU is grouped window-LRU with every access in one group.
+    return active().window_hits_grouped(
+        keys, np.zeros(n, dtype=np.int64), window
+    )
 
 
 def recency_hits_grouped(
@@ -181,7 +165,7 @@ def recency_hits_grouped(
     (group, key) composite never matches across groups.
 
     ``order`` optionally supplies the stable sort permutation by
-    ``groups`` (``np.lexsort((arange(n), groups))``), letting callers
+    ``groups`` (``np.argsort(groups, kind="stable")``), letting callers
     that batch many epochs amortise the sort.
     """
     if window < 0:
@@ -190,33 +174,7 @@ def recency_hits_grouped(
     groups = np.asarray(groups)
     if keys.shape != groups.shape:
         raise ValueError("keys and groups must have the same shape")
-    n = len(keys)
-    if n == 0 or window == 0:
-        return np.zeros(n, dtype=bool)
-    idx = np.arange(n, dtype=np.int64)
-    if order is None:
-        order = np.lexsort((idx, groups))
-    sorted_keys = np.asarray(keys[order], dtype=np.int64)
-    sorted_groups = groups[order].astype(np.int64)
-    # The (group, key) composite must be injective.  The cheap path
-    # packs the pair into one int64 (group ids occupy the low bits);
-    # only when that would overflow — keys near 2^63 after the shift —
-    # do we pay for a dense re-id via np.unique, which costs a full
-    # extra sort per call.
-    kmin = np.int64(sorted_keys.min()) if n else np.int64(0)
-    gmax = int(sorted_groups.max()) if n else 0
-    shift = max(1, gmax.bit_length())
-    kspan = int(sorted_keys.max()) - int(kmin)
-    if kmin >= 0 and sorted_groups.min() >= 0 and kspan < (1 << (62 - shift)):
-        composite = ((sorted_keys - kmin) << np.int64(shift)) | sorted_groups
-    else:
-        uniques, dense = np.unique(sorted_keys, return_inverse=True)
-        composite = sorted_groups * np.int64(len(uniques)) + dense
-    prev_idx, _ = _prev_in_group(composite, composite)
-    hits_sorted = (prev_idx >= 0) & (idx - prev_idx <= window)
-    hits = np.empty(n, dtype=bool)
-    hits[order] = hits_sorted
-    return hits
+    return active().window_hits_grouped(keys, groups, window, order=order)
 
 
 def cold_miss_count(keys: np.ndarray) -> int:

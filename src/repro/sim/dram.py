@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.cachesim import _prev_in_group
+from repro.sim.kernels import active
 from repro.sim.params import CACHELINE_BYTES, DramTiming
 
 
@@ -62,8 +62,10 @@ class DramModel:
         banks = self.banks_of(byte_addrs)
         if channel is not None:
             banks = banks + np.asarray(channel, dtype=np.int64) * self.timing.banks
-        prev_idx, prev_row = _prev_in_group(banks, rows)
-        row_hit = (prev_idx >= 0) & (prev_row == rows)
+        # Row hit iff the previous access to the same bank opened the same
+        # row — the (bank, row) pair is exactly a direct-mapped (slot, tag)
+        # check, fused in the kernel backend into one stable-sort pass.
+        row_hit = active().row_hit_mask(banks, rows)
         latency = np.where(row_hit, self.timing.row_hit_ns, self.timing.row_miss_ns)
         return DramAccessResult(latency_ns=latency, row_hit=row_hit)
 

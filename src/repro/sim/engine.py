@@ -20,6 +20,7 @@ the slowest core does.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 
@@ -31,7 +32,7 @@ from repro.obs.recorder import NullRecorder
 from repro.obs.spatial import SpatialAccumulator
 from repro.obs.timeline import EpochRecord, Timeline
 from repro.obs.tracing import NULL_TRACER, current
-from repro.sim.cachesim import _prev_in_group
+from repro.sim.kernels import BACKENDS, resolve_backend, use_backend
 from repro.sim.cxl import ExtendedMemory
 from repro.sim.dram import DramModel
 from repro.sim.metrics import (
@@ -159,11 +160,27 @@ class DramCachePolicy(ABC):
 
 @dataclass
 class EngineOptions:
-    """Engine knobs that are not part of the system description."""
+    """Engine knobs that are not part of the system description.
+
+    ``backend`` picks the kernel implementation for the exact hot-loop
+    scans (see :mod:`repro.sim.kernels`): ``numpy`` (default), ``python``
+    (the slow reference the benchmark's ``kernel_speedup`` is measured
+    against), or ``numba`` (optional JIT; falls back to numpy with a
+    recorded warning when numba is not installed).  Reports are
+    bit-identical across backends.
+    """
 
     exact_l1: bool = False
     max_epochs: int | None = None
     cxl_port_unit: int = 0
+    backend: str = "numpy"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; "
+                f"choose from {BACKENDS}"
+            )
 
 
 class SimulationEngine:
@@ -179,6 +196,15 @@ class SimulationEngine:
         self.config = config
         self.options = options or EngineOptions()
         self.recorder = recorder if recorder is not None else NullRecorder()
+        self.kernels, fallback = resolve_backend(self.options.backend)
+        if fallback is not None:
+            warnings.warn(fallback, RuntimeWarning, stacklevel=2)
+            self.recorder.event(
+                "backend_fallback",
+                requested=self.options.backend,
+                resolved=self.kernels.name,
+                message=fallback,
+            )
         self.fault_schedule = faults
         self.fault_state: FaultState | None = None
         self.topology = Topology(config)
@@ -289,8 +315,9 @@ class SimulationEngine:
     ) -> float:
         compute_cycles = core_accesses * workload.compute_cycles_per_access
         thread_cycles = compute_cycles + core_stall_ns / self.config.core.cycle_ns
-        unit_cycles = np.zeros(self.config.n_units)
-        np.add.at(unit_cycles, self._thread_units, thread_cycles)
+        unit_cycles = self.kernels.segment_sum(
+            self._thread_units, thread_cycles, self.config.n_units
+        )
         core_bound = float(np.max(unit_cycles)) if len(unit_cycles) else 0.0
         bw_bound = self._bandwidth_bound_ns() / self.config.core.cycle_ns
         return max(core_bound, bw_bound)
@@ -299,18 +326,28 @@ class SimulationEngine:
     def _epoch_core_orders(epochs: list[Trace]) -> list[np.ndarray]:
         """Stable-by-core sort permutation for every epoch, in one pass.
 
-        A single trace-wide lexsort keyed by (epoch, core, position)
-        yields each epoch's grouping for the L1 filter; the per-epoch
-        slices only need their offsets subtracted.
+        A single trace-wide stable sort keyed by (epoch, core) yields
+        each epoch's grouping for the L1 filter; the per-epoch slices
+        only need their offsets subtracted.  The two keys are packed
+        into one int64 so the sort is a single radix pass (numpy's
+        stable sort for integer keys) — measurably faster than the
+        equivalent ``np.lexsort((pos, cores, epoch_ids))``, and
+        identical by stability.
         """
         lengths = np.array([len(e) for e in epochs], dtype=np.int64)
         total = int(lengths.sum())
         if total == 0:
             return [np.empty(0, dtype=np.int64) for _ in epochs]
-        cores = np.concatenate([e.core for e in epochs])
+        cores = np.concatenate([e.core for e in epochs]).astype(np.int64)
         epoch_ids = np.repeat(np.arange(len(epochs), dtype=np.int64), lengths)
-        pos = np.arange(total, dtype=np.int64)
-        order = np.lexsort((pos, cores, epoch_ids))
+        span = int(cores.max()) + 1 if len(cores) else 1
+        if cores.min() >= 0 and len(epochs) * span < (1 << 62):
+            order = np.argsort(
+                epoch_ids * np.int64(span) + cores, kind="stable"
+            )
+        else:
+            pos = np.arange(total, dtype=np.int64)
+            order = np.lexsort((pos, cores, epoch_ids))
         starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
         parts = np.split(order, np.cumsum(lengths)[:-1])
         return [part - start for part, start in zip(parts, starts)]
@@ -352,17 +389,17 @@ class SimulationEngine:
         if unit is None:
             unit = epoch.core.astype(np.int64) % self.config.n_units
         service = self._ext_service_ns() / self.config.cxl.channels
-        # Per-unit compute time is stall-independent; add it once.
-        compute = np.zeros(self.config.n_units)
-        np.add.at(
-            compute,
-            unit,
-            workload.compute_cycles_per_access * self.config.core.cycle_ns,
+        # Per-unit compute time is stall-independent; add it once.  The
+        # per-access cost is constant, so the segment sum is a count
+        # times that constant.
+        compute = self.kernels.segment_count(unit, self.config.n_units) * (
+            workload.compute_cycles_per_access * self.config.core.cycle_ns
         )
         queue_ns = 0.0
         for _ in range(2):
-            unit_ns = np.zeros(self.config.n_units)
-            np.add.at(unit_ns, unit, epoch_stall + queue_ns * ext_mask)
+            unit_ns = self.kernels.segment_sum(
+                unit, epoch_stall + queue_ns * ext_mask, self.config.n_units
+            )
             duration = float(np.max(unit_ns + compute))
             if duration <= 0:
                 return 0.0
@@ -380,13 +417,9 @@ class SimulationEngine:
         """Wall-clock estimate of one epoch: the busiest unit's time."""
         if unit is None:
             unit = epoch.core.astype(np.int64) % self.config.n_units
-        unit_ns = np.zeros(self.config.n_units)
-        np.add.at(unit_ns, unit, epoch_stall)
-        compute = np.zeros(self.config.n_units)
-        np.add.at(
-            compute,
-            unit,
-            workload.compute_cycles_per_access * self.config.core.cycle_ns,
+        unit_ns = self.kernels.segment_sum(unit, epoch_stall, self.config.n_units)
+        compute = self.kernels.segment_count(unit, self.config.n_units) * (
+            workload.compute_cycles_per_access * self.config.core.cycle_ns
         )
         return float(np.max(unit_ns + compute))
 
@@ -520,8 +553,7 @@ class SimulationEngine:
                 banks = units * self.config.ndp_dram.banks + (
                     rows % self.config.ndp_dram.banks
                 )
-                prev_idx, prev_row = _prev_in_group(banks, rows)
-                row_hit = (prev_idx >= 0) & (prev_row == rows)
+                row_hit = self.kernels.row_hit_mask(banks, rows)
                 timing = self.config.ndp_dram
                 dram_ns[touches] = np.where(
                     row_hit, timing.row_hit_ns, timing.row_miss_ns
@@ -678,7 +710,10 @@ class EngineSession:
         recorder = engine.recorder
         self.recorder = recorder
         policy.bind_recorder(recorder)
-        with self.tracer.span("policy.setup"):
+        # Policy setup (miss-curve sampling, metadata sizing) runs on the
+        # engine's kernel backend too: cachesim primitives dispatch to
+        # the ambient backend, so one scope covers them all.
+        with use_backend(engine.kernels), self.tracer.span("policy.setup"):
             policy.setup(engine.config, engine.topology, workload)
         # Per-sid affine flag for the prefetch-overlap (MLP) model.
         max_sid = max((s.sid for s in workload.streams), default=-1)
@@ -743,7 +778,7 @@ class EngineSession:
         if order is None:
             order = engine._epoch_core_orders([epoch])[0]
 
-        with tracer.span("engine.epoch", epoch=epoch_idx):
+        with use_backend(engine.kernels), tracer.span("engine.epoch", epoch=epoch_idx):
             events = None
             epoch_movements = 0
             epoch_invalidations = 0
@@ -794,12 +829,16 @@ class EngineSession:
                 l1_ns = l1_result["hits"] * engine.config.core.l1d.hit_ns
                 breakdown.sram_ns += l1_ns
                 energy.sram_nj += l1_result["total"] * 0.01  # ~10 pJ / L1 access
-                np.add.at(self.core_accesses, epoch.core, 1)
-                np.add.at(
-                    self.core_stall_ns,
-                    epoch.core[l1_result["mask"]],
-                    engine.config.core.l1d.hit_ns,
+                n_threads = len(self.core_accesses)
+                kernels = engine.kernels
+                self.core_accesses += kernels.segment_count(
+                    epoch.core, n_threads
                 )
+                # All L1 hits cost the same, so the per-thread stall is a
+                # hit count times the constant hit latency.
+                self.core_stall_ns += kernels.segment_count(
+                    epoch.core[l1_result["mask"]], n_threads
+                ) * engine.config.core.l1d.hit_ns
 
             if len(post_l1):
                 with tracer.span("policy.process"):
@@ -848,7 +887,9 @@ class EngineSession:
                         )
                         epoch_stall[ext_mask] += observed[ext_mask]
                         breakdown.extended_ns += queue_ns * n_ext
-                    np.add.at(self.core_stall_ns, post_l1.core, epoch_stall)
+                    self.core_stall_ns += engine.kernels.segment_sum(
+                        post_l1.core, epoch_stall, len(self.core_stall_ns)
+                    )
             else:
                 outcome = None
 
@@ -914,7 +955,7 @@ class EngineSession:
         tracer = self.tracer
         recorder = self.recorder
         energy = self.energy
-        with tracer.span("engine.runtime_model"):
+        with use_backend(engine.kernels), tracer.span("engine.runtime_model"):
             runtime_cycles = engine._runtime_cycles(
                 self.core_stall_ns, self.core_accesses, self.workload
             )

@@ -57,6 +57,14 @@ class Topology:
             self.intra_hops * noc.intra_pj_per_bit
             + self.inter_hops * noc.inter_pj_per_bit
         )
+        # The configuration algorithm asks for nearest-unit orders and
+        # attenuation factors once per candidate placement — tens of
+        # thousands of times per run at small scale — so both are
+        # precomputed: attenuation as one matrix expression, orders
+        # lazily per source (callers iterate; they must not mutate).
+        dram_ns = config.ndp_dram.row_miss_ns
+        self.attenuation_matrix = dram_ns / (dram_ns + 2.0 * self.latency_ns)
+        self._nearest: dict[int, list[int]] = {}
 
     def _position_of(self, unit: int) -> UnitPosition:
         per_stack = self.config.units_per_stack
@@ -114,9 +122,14 @@ class Topology:
 
     def nearest_units(self, src: int) -> list[int]:
         """All units sorted by distance from ``src`` (closest first, self
-        included at distance zero)."""
-        order = np.argsort(self.latency_ns[src], kind="stable")
-        return [int(u) for u in order]
+        included at distance zero).  The returned list is a shared cached
+        object — iterate it, do not mutate it."""
+        cached = self._nearest.get(src)
+        if cached is None:
+            order = np.argsort(self.latency_ns[src], kind="stable")
+            cached = [int(u) for u in order]
+            self._nearest[src] = cached
+        return cached
 
     def attenuation(self, src: int, dst: int) -> float:
         """The configuration algorithm's attenuation factor k(src, dst).
@@ -125,8 +138,7 @@ class Topology:
         interconnect latency): remote units contribute less utility
         because each access pays the interconnect on top of DRAM.
         """
-        dram_ns = self.config.ndp_dram.row_miss_ns
-        return dram_ns / (dram_ns + self.round_trip_ns(src, dst))
+        return float(self.attenuation_matrix[src, dst])
 
     def mean_latency_from(self, src: int, dsts: list[int]) -> float:
         if not dsts:

@@ -119,21 +119,31 @@ class LookaheadState:
         configurator uses this for streams that can no longer get space).
         """
         best: SlopeSegment | None = None
+        best_slope = -np.inf
         for sid, curve in self.curves.items():
             if exclude and sid in exclude:
                 continue
             current = self.allocated[sid]
             current_misses = curve.misses_at(current)
             # Consider extending to each measured capacity beyond current.
-            for cap, misses in zip(curve.capacities, curve.misses):
-                if cap <= current:
-                    continue
-                gain = current_misses - misses
-                if gain <= 0:
-                    continue
-                segment = SlopeSegment(sid, current, int(cap), gain)
-                if best is None or segment.slope > best.slope:
-                    best = segment
+            # One vector pass per curve: candidate slopes for every
+            # measured point past the allocation, first-max selection
+            # (argmax) matching the strict > of the scalar loop it
+            # replaced, so ties keep resolving to the earliest capacity.
+            caps = curve.capacities
+            gains = current_misses - curve.misses
+            candidate = (caps > current) & (gains > 0)
+            if not candidate.any():
+                continue
+            cand_caps = caps[candidate]
+            cand_gains = gains[candidate]
+            slopes = cand_gains / (cand_caps - current).astype(np.float64)
+            j = int(np.argmax(slopes))
+            if float(slopes[j]) > best_slope:
+                best = SlopeSegment(
+                    sid, current, int(cand_caps[j]), float(cand_gains[j])
+                )
+                best_slope = float(slopes[j])
         return best
 
     def commit(self, segment: SlopeSegment) -> None:

@@ -40,13 +40,20 @@ REPRESENTATIVE = ("recsys", "mv", "hotspot", "pathfinder", "pr", "bfs")
 
 
 def _build_uncached(name: str, scale: WorkloadScale) -> Workload:
-    factory = FACTORIES[name]
-    if scale.processes <= 1:
-        return factory(scale)
-    instances = [
-        factory(scale.per_process(p)) for p in range(scale.processes)
-    ]
-    return merge_processes(instances, name=name)
+    # The span lives here — around actual generation only — so a warm
+    # TraceCache hit (mmap load) is never attributed as build time.  The
+    # cache's own cache.trace_load / cache.trace_build io spans cover
+    # the storage layer.
+    from repro.obs.tracing import current
+
+    with current().span("workload.build", cat="task", workload=name):
+        factory = FACTORIES[name]
+        if scale.processes <= 1:
+            return factory(scale)
+        instances = [
+            factory(scale.per_process(p)) for p in range(scale.processes)
+        ]
+        return merge_processes(instances, name=name)
 
 
 def build(name: str, scale: WorkloadScale | None = None) -> Workload:

@@ -159,8 +159,16 @@ class TestBenchSmoke:
         result = run_bench(quick=True, jobs=2)
         engine = result["engine"]
         suite = result["suite"]
+        kernels = result["kernels"]
+        paper = result["engine_paper"]
         assert engine["accesses_per_second"] > 0
         assert engine["l1_grouped_seconds"] > 0
+        # The backend comparison timed bit-identical reports.
+        assert kernels["reports_identical"]
+        assert set(kernels["backends"]) >= {"numpy", "python"}
+        assert kernels["kernel_speedup"] > 1.0
+        assert paper["n_units"] == 128
+        assert paper["accesses_per_second"] > 0
         assert suite["cells"] == 4
         # The warm pass must be pure cache: zero simulations.
         assert suite["warm_counters"]["cache_misses"] == 0
@@ -176,3 +184,33 @@ class TestBenchSmoke:
         assert main(["bench", "--quick", "--out", str(out)]) == 0
         assert out.exists()
         assert "wrote" in capsys.readouterr().out
+
+
+class TestBuildSpanAttribution:
+    """The workload.build span must cover actual generation only: a warm
+    TraceCache hit is storage I/O, not build time, and double-counting it
+    skewed profile and bench attributions (the bug this class pins)."""
+
+    def _spans(self, fn):
+        from repro.obs.tracing import PerfTracer, activate
+
+        tracer = PerfTracer(process_label="test")
+        with activate(tracer):
+            fn()
+        return [e.name for e in tracer.events]
+
+    def test_cold_build_emits_build_span(self, cache_dir):
+        names = self._spans(lambda: build("pr", TINY))
+        assert "workload.build" in names
+
+    def test_warm_mmap_hit_emits_no_build_span(self, cache_dir):
+        build("pr", TINY)  # populate the cache, untraced
+        names = self._spans(lambda: build("pr", TINY))
+        assert "workload.build" not in names
+        assert any(n.startswith("cache.trace_load") for n in names)
+
+    def test_cache_disabled_still_attributes_build(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c3"))
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        names = self._spans(lambda: build("pr", TINY))
+        assert "workload.build" in names

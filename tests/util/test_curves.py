@@ -168,3 +168,68 @@ class TestLookahead:
             assert seg.gain > 0
             assert seg.size > 0
             state.commit(seg)
+
+
+class TestLookaheadVectorizedEquivalence:
+    """The vectorized next_steepest_segment must replay the scalar loop it
+    replaced decision for decision, ties included."""
+
+    @staticmethod
+    def _reference(state, exclude=None):
+        best = None
+        best_slope = -np.inf
+        for sid, curve in state.curves.items():
+            if exclude and sid in exclude:
+                continue
+            current = state.allocated[sid]
+            current_misses = curve.misses_at(current)
+            for cap, misses in zip(curve.capacities, curve.misses):
+                if cap <= current:
+                    continue
+                gain = current_misses - misses
+                if gain <= 0:
+                    continue
+                slope = gain / float(cap - current)
+                if slope > best_slope:
+                    best = SlopeSegment(sid, current, int(cap), float(gain))
+                    best_slope = slope
+        return best
+
+    @staticmethod
+    def _random_state(rng, n_streams):
+        curves = {}
+        for sid in range(n_streams):
+            n = int(rng.integers(2, 12))
+            caps = np.unique(rng.integers(1, 10_000, size=n))
+            misses = np.sort(rng.uniform(0, 1000, size=len(caps)))[::-1]
+            # Inject plateaus so tie-breaking is actually exercised.
+            if len(misses) > 2:
+                misses[1] = misses[2]
+            curves[sid] = MissCurve(caps, misses.copy())
+        return LookaheadState(curves)
+
+    def test_matches_reference_loop_through_full_allocation(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            state = self._random_state(rng, n_streams=int(rng.integers(1, 6)))
+            shadow = LookaheadState(
+                {sid: c for sid, c in state.curves.items()},
+                allocated=dict(state.allocated),
+            )
+            while True:
+                got = state.next_steepest_segment()
+                want = self._reference(shadow)
+                assert (got is None) == (want is None)
+                if got is None:
+                    break
+                assert got == want, f"trial {trial}: {got} != {want}"
+                state.commit(got)
+                shadow.commit(want)
+
+    def test_matches_reference_with_exclusions(self):
+        rng = np.random.default_rng(43)
+        state = self._random_state(rng, n_streams=5)
+        exclude = {0, 3}
+        got = state.next_steepest_segment(exclude=exclude)
+        want = self._reference(state, exclude=exclude)
+        assert got == want
