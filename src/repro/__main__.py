@@ -70,8 +70,16 @@ queues with admission control, priority-ordered scheduling with load
 shedding and per-batch deadlines, and a health monitor that turns fault
 events into forced re-placements (and pauses reconfiguration while a
 unit is flapping).  ``--journal`` makes the run resumable after a
-drain; ``--storm`` injects a seeded fault storm.  See DESIGN.md
-§ "Serving mode".
+drain; ``--storm`` injects a seeded fault storm.  ``--slo`` declares
+per-tenant objectives (p99 bound, availability, shed-rate ceiling)
+evaluated live with Google-SRE multi-window burn-rate alerting, and
+``--admission slo`` switches to the error-budget-aware admission
+controller.  ``--listen HOST:PORT`` exposes the live telemetry plane
+while serving — GET ``/metrics`` (Prometheus text), ``/healthz``,
+``/slo``, ``/report``, and POST ``/ingest`` to drive the loop from
+outside; ``--pace``/``--linger`` slow the replay and keep the endpoint
+up so it can be scraped mid-run and after.  See DESIGN.md § "Serving
+mode" and § "SLO & live telemetry".
 """
 
 from __future__ import annotations
@@ -394,6 +402,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export serving metrics in Prometheus text format",
     )
+    serve_p.add_argument(
+        "--admission",
+        default="quota",
+        choices=("quota", "slo"),
+        help="admission controller: 'quota' is the fixed per-tenant "
+        "quota (default, bit-identical to previous releases); 'slo' "
+        "flexes quotas and shed order by each tenant's error-budget "
+        "state (tenants without --slo objectives get defaults)",
+    )
+    serve_p.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="NAME:P99_NS[:AVAIL[:SHED_RATE]]",
+        help="declare one tenant's SLO (repeatable); empty fields are "
+        "skipped, e.g. 'analytics:2000000' or 'batch::0.99:0.05'. "
+        "Evaluated live with burn-rate alerting whenever present",
+    )
+    serve_p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="expose the live telemetry plane while serving: GET "
+        "/metrics (Prometheus), /healthz, /slo, /report; POST /ingest "
+        "to drive the loop externally. ':9090' binds loopback",
+    )
+    serve_p.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock sleep between submission waves so a live "
+        "endpoint can be scraped mid-run (simulated results are "
+        "unaffected; default: 0)",
+    )
+    serve_p.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the --listen endpoint up this long after the run "
+        "finishes, serving the final report (default: 0)",
+    )
     return parser
 
 
@@ -649,6 +700,30 @@ def _parse_tenant(spec: str):
     )
 
 
+def _parse_slo(spec: str):
+    """``name:p99_ns[:availability[:max_shed_rate]]`` with empty fields
+    allowed (``batch::0.99`` = availability only)."""
+    from repro.obs.slo import SloObjective
+
+    parts = spec.split(":")
+    if not parts[0]:
+        raise SystemExit(f"serve: SLO spec {spec!r} needs a tenant name")
+    if len(parts) > 4:
+        raise SystemExit(
+            f"serve: SLO spec {spec!r} has too many fields "
+            "(name:p99_ns[:availability[:max_shed_rate]])"
+        )
+    try:
+        p99 = float(parts[1]) if len(parts) > 1 and parts[1] else None
+        avail = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        shed = float(parts[3]) if len(parts) > 3 and parts[3] else None
+        return SloObjective(
+            parts[0], p99_ns=p99, availability=avail, max_shed_rate=shed
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: bad SLO spec {spec!r}: {exc}") from None
+
+
 def cmd_serve(args) -> None:
     """Replay a tenant-mix scenario through the resident serving loop."""
     from repro.serve import ServeHarness, ServeScenario, two_tenant_scenario
@@ -675,6 +750,10 @@ def cmd_serve(args) -> None:
         steps_per_wave=args.steps_per_wave,
         drain_after_batches=args.drain_after,
         faults=faults,
+        admission=args.admission,
+        objectives=(
+            tuple(_parse_slo(spec) for spec in args.slo) if args.slo else ()
+        ),
     )
     if args.tenant:
         tenants = tuple(_parse_tenant(spec) for spec in args.tenant)
@@ -695,7 +774,33 @@ def cmd_serve(args) -> None:
         journal_path=args.journal,
         backend=args.backend,
     )
-    report = harness.run()
+    server = None
+    if args.listen:
+        import time as _time
+
+        from repro.serve import LiveServeServer, parse_listen
+
+        host, port = parse_listen(args.listen)
+        server = LiveServeServer(
+            harness.loop,
+            make_batch=harness.make_batch,
+            scenario=scenario.name,
+            host=host,
+            port=port,
+            extra_labels={"preset": args.preset},
+        ).start()
+        print(f"[serve] live endpoint at {server.url} "
+              "(/metrics /healthz /slo /report; POST /ingest)")
+    try:
+        report = harness.run(pace_s=args.pace, lock=server.lock if server else None)
+        if server is not None:
+            server.set_final(report)
+            if args.linger > 0:
+                print(f"[serve] lingering {args.linger:g}s at {server.url}")
+                _time.sleep(args.linger)
+    finally:
+        if server is not None:
+            server.close()
     print(report.summary())
     if args.report_out:
         from repro.obs.export import write_json

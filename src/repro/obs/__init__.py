@@ -38,6 +38,15 @@ from repro.obs.recorder import (
     Recorder,
     sanitize_json,
 )
+from repro.obs.slo import (
+    SLO_OK,
+    SLO_PAGE,
+    SLO_WARN,
+    SloEngine,
+    SloObjective,
+    alert_severity,
+    default_objectives,
+)
 from repro.obs.spatial import SpatialAccumulator, SpatialReport
 from repro.obs.timeline import EpochRecord, Timeline
 from repro.obs.tracing import (
@@ -71,12 +80,19 @@ __all__ = [
     "NullTracer",
     "PerfTracer",
     "Recorder",
+    "SLO_OK",
+    "SLO_PAGE",
+    "SLO_WARN",
+    "SloEngine",
+    "SloObjective",
     "SelfProfiler",
     "SpanAgg",
     "SpanEvent",
     "SpanStats",
     "activate",
+    "alert_severity",
     "current",
+    "default_objectives",
     "SpatialAccumulator",
     "SpatialReport",
     "TierHistogramSet",

@@ -41,6 +41,8 @@ _CSS = """
   --heat-3: #3987e5; --heat-4: #256abf; --heat-5: #1c5cab;
   --heat-6: #104281; --heat-7: #0d366b;
   --heat-ink-strong: #ffffff;
+  --slo-ok: var(--tier-inter); --slo-warn: var(--tier-extended);
+  --slo-page: var(--tier-intra);
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -384,7 +386,143 @@ def _timeline_svg(timeline: Timeline) -> str:
     )
 
 
-def render_dash(report: SimulationReport, source: str = "") -> str:
+_SLO_VARS = {"ok": "var(--slo-ok)", "warn": "var(--slo-warn)", "page": "var(--slo-page)"}
+
+
+def _slo_tenant_svg(
+    transitions: list[tuple[int, str]],
+    history: list[list[float]],
+    last_epoch: int,
+) -> str:
+    """One tenant's SLO view: an alert-state band strip over epochs with
+    the error-budget burn-down line beneath it, on a shared x axis."""
+    width, height = 640, 150
+    pad_l, pad_r, pad_t, pad_b = 56, 14, 8, 22
+    band_h = 14
+    chart_top = pad_t + band_h + 8
+    span = max(1, last_epoch)
+
+    def x_of(epoch: float) -> float:
+        return pad_l + min(1.0, epoch / span) * (width - pad_l - pad_r)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" role="img" '
+        f'aria-label="SLO alert timeline and budget burn-down">'
+    ]
+    # Alert-state bands: each transition opens a segment until the next.
+    segments = transitions or [(0, "ok")]
+    for i, (epoch, state) in enumerate(segments):
+        end = segments[i + 1][0] if i + 1 < len(segments) else last_epoch + 1
+        x0, x1 = x_of(epoch), x_of(end)
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{pad_t}" width="{max(1.0, x1 - x0):.1f}" '
+            f'height="{band_h}" rx="3" fill="{_SLO_VARS.get(state, _SLO_VARS["ok"])}">'
+            f"<title>{state} from epoch {epoch}</title></rect>"
+        )
+    # Budget burn-down (1.0 at the top, 0.0 line emphasized; the series
+    # may go negative once the budget is overspent).
+    lo = min([v for _, v in history] + [0.0]) if history else 0.0
+    hi = 1.0
+
+    def y_of(v: float) -> float:
+        return chart_top + (hi - v) / (hi - lo or 1.0) * (height - chart_top - pad_b)
+
+    for q, label in ((1.0, "1.0"), (0.0, "0.0")):
+        y = y_of(q)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - pad_r}" y2="{y:.1f}" '
+            f'stroke="var(--{"axis" if q == 0.0 else "grid"})" stroke-width="1"/>'
+            f'<text x="{pad_l - 6}" y="{y + 4:.1f}" font-size="10" '
+            f'fill="var(--muted)" text-anchor="end">{label}</text>'
+        )
+    if history:
+        pts = " ".join(
+            f"{x_of(e):.1f},{y_of(v):.1f}" for e, v in history
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="var(--tier-local)" '
+            f'stroke-width="2" stroke-linejoin="round">'
+            f"<title>error budget remaining (final "
+            f"{history[-1][1]:.2f})</title></polyline>"
+        )
+    parts.append(
+        f'<text x="{width - pad_r}" y="{height - 8}" font-size="10" '
+        f'fill="var(--muted)" text-anchor="end">epoch {last_epoch}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _slo_panel(slo_events: list[dict]) -> str:
+    """The SLO section: per-tenant alert timeline bands, budget
+    burn-down, and a rollup table — built from schema-3 ``slo_burn`` /
+    ``slo_recovered`` / ``slo_status`` trace events."""
+    transitions: dict[str, list[tuple[int, str]]] = {}
+    status: dict[str, dict] = {}
+    burns: dict[str, int] = {}
+    last_epoch = 0
+    for event in slo_events:
+        kind = event.get("kind")
+        tenant = str(event.get("tenant"))
+        if kind in ("slo_burn", "slo_recovered"):
+            epoch = int(event.get("epoch", 0))
+            last_epoch = max(last_epoch, epoch)
+            transitions.setdefault(tenant, [(0, "ok")]).append(
+                (epoch, str(event.get("state", "ok")))
+            )
+            if kind == "slo_burn":
+                burns[tenant] = burns.get(tenant, 0) + 1
+        elif kind == "slo_status":
+            status[tenant] = event
+            for point in event.get("budget_history") or []:
+                last_epoch = max(last_epoch, int(point[0]))
+    tenants = sorted(set(transitions) | set(status))
+    if not tenants:
+        return ""
+    sections = ["<h2>SLO error budgets</h2>"]
+    legend = "".join(
+        f'<span><span class="sw" style="background:{_SLO_VARS[s]}"></span>'
+        f"{s}</span>"
+        for s in ("ok", "warn", "page")
+    )
+    rows = []
+    for tenant in tenants:
+        info = status.get(tenant, {})
+        history = [
+            [int(p[0]), float(p[1])]
+            for p in (info.get("budget_history") or [])
+        ]
+        sections.append('<div class="card">')
+        sections.append(
+            f'<div class="legend"><span>{html.escape(tenant)}</span>{legend}</div>'
+        )
+        sections.append(
+            _slo_tenant_svg(transitions.get(tenant, []), history, last_epoch)
+        )
+        sections.append("</div>")
+        rows.append(
+            f"<tr><td>{html.escape(tenant)}</td>"
+            f"<td>{html.escape(str(info.get('alert', '?')))}</td>"
+            f"<td>{float(info.get('budget_remaining', 1.0)):.2f}</td>"
+            f"<td>{float(info.get('worst_burn', 0.0)):.1f}x</td>"
+            f"<td>{burns.get(tenant, 0)}</td></tr>"
+        )
+    sections.append('<div class="card">')
+    sections.append(
+        "<table><tr><th>tenant</th><th>final alert</th>"
+        "<th>budget remaining</th><th>worst burn</th><th>escalations</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+    sections.append("</div>")
+    return "\n".join(sections)
+
+
+def render_dash(
+    report: SimulationReport,
+    source: str = "",
+    slo_events: list[dict] | None = None,
+) -> str:
     """One report (ideally from a recorded trace) -> standalone HTML."""
     title = f"{report.workload} under {report.policy}"
     sections = [f"<h1>{html.escape(title)}</h1>"]
@@ -426,6 +564,10 @@ def render_dash(report: SimulationReport, source: str = "") -> str:
         sections.append('<div class="card">')
         sections.append(_timeline_svg(report.timeline))
         sections.append("</div>")
+    if slo_events:
+        panel = _slo_panel(slo_events)
+        if panel:
+            sections.append(panel)
     body = "\n".join(sections)
     return (
         "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\"/>\n"
@@ -459,9 +601,32 @@ def load_input(path: str) -> SimulationReport:
     return SimulationReport.from_json(payload)
 
 
+def load_slo_events(path: str) -> list[dict]:
+    """The trace's SLO events for the dash panel; [] when the input is
+    a report JSON (no event stream) or records no SLO activity."""
+    from repro.obs.traceio import read_trace
+
+    with open(path) as f:
+        first = f.readline().strip()
+    try:
+        head = json.loads(first) if first else {}
+    except json.JSONDecodeError:
+        return []
+    if not (isinstance(head, dict) and head.get("kind") == "header"):
+        return []
+    trace = read_trace(path)
+    return [
+        e
+        for e in trace.events
+        if e.get("kind") in ("slo_burn", "slo_recovered", "slo_status")
+    ]
+
+
 def cmd_dash(args) -> None:
     report = load_input(args.input)
-    html_text = render_dash(report, source=args.input)
+    html_text = render_dash(
+        report, source=args.input, slo_events=load_slo_events(args.input)
+    )
     with open(args.out, "w") as f:
         f.write(html_text)
     print(f"[dash] wrote {args.out}")

@@ -311,6 +311,76 @@ def serve_prometheus(
         "batches journaled but unserved at drain",
     )
     w.sample(f"{PREFIX}_serve_drained_queued", base, report.drained_queued)
+    if report.slo is not None:
+        _slo_lines(w, report.slo, base)
+    return "\n".join(w.lines) + "\n"
+
+
+def _slo_lines(w: _Writer, status: dict, base: dict) -> None:
+    """SLO gauges from an :meth:`SloEngine.status` payload."""
+    from repro.obs.slo import OBJ_LATENCY, alert_severity
+
+    w.declare(
+        f"{PREFIX}_slo_alert_state",
+        "gauge",
+        "per-tenant SLO alert severity (0=ok 1=warn 2=page)",
+    )
+    w.declare(
+        f"{PREFIX}_slo_budget_remaining",
+        "gauge",
+        "fraction of the error budget left (negative = overspent)",
+    )
+    w.declare(
+        f"{PREFIX}_slo_burn_rate",
+        "gauge",
+        "error-budget burn rate by objective and window",
+    )
+    w.declare(
+        f"{PREFIX}_slo_latency_windows_total",
+        "counter",
+        "evaluated fast windows for the latency objective",
+    )
+    w.declare(
+        f"{PREFIX}_slo_latency_windows_met",
+        "counter",
+        "fast windows whose p99 met the latency objective",
+    )
+    for name, tenant in sorted(status.get("tenants", {}).items()):
+        labels = {**base, "tenant": name}
+        w.sample(
+            f"{PREFIX}_slo_alert_state", labels, alert_severity(tenant["alert"])
+        )
+        w.sample(
+            f"{PREFIX}_slo_budget_remaining", labels, tenant["budget_remaining"]
+        )
+        for kind, obj in sorted(tenant.get("objectives", {}).items()):
+            for window in ("fast", "slow"):
+                w.sample(
+                    f"{PREFIX}_slo_burn_rate",
+                    {**labels, "objective": kind, "window": window},
+                    obj[f"burn_{window}"],
+                )
+            if kind == OBJ_LATENCY:
+                obj_labels = {**labels, "objective": kind}
+                w.sample(
+                    f"{PREFIX}_slo_latency_windows_total",
+                    obj_labels,
+                    obj.get("windows_total", 0),
+                )
+                w.sample(
+                    f"{PREFIX}_slo_latency_windows_met",
+                    obj_labels,
+                    obj.get("windows_met", 0),
+                )
+
+
+def slo_prometheus(
+    status: dict, extra_labels: dict[str, object] | None = None
+) -> str:
+    """Render one :meth:`SloEngine.status` payload standalone (the live
+    endpoint embeds the same series through :func:`serve_prometheus`)."""
+    w = _Writer()
+    _slo_lines(w, status, dict(extra_labels or {}))
     return "\n".join(w.lines) + "\n"
 
 

@@ -33,7 +33,11 @@ from repro.obs.profiler import SelfProfiler
 #   2 — serving-mode events added (serve_shed / serve_timeout /
 #       serve_degraded / serve_reject), each with required fields the
 #       summarizer validates.
-SCHEMA_VERSION = 2
+#   3 — SLO events added (slo_burn / slo_recovered / slo_status).
+#       Readers from here on are forward-compatible: a trace with a
+#       *newer* integer schema is read with a warning, and unknown
+#       serve_*/slo_* kinds are counted but not validated.
+SCHEMA_VERSION = 3
 
 
 def sanitize_json(obj):

@@ -10,6 +10,7 @@ schema, rebuild the epoch timeline, and render summary/diff tables.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 
 from repro.obs.histogram import LatencyHistogram
@@ -81,9 +82,20 @@ def read_trace(path: str) -> TraceFile:
     if not trace.header:
         raise ValueError(f"{path}: missing header line")
     schema = trace.header.get("schema")
-    if schema != SCHEMA_VERSION:
+    # Forward compatibility: a trace written by a *newer* recorder keeps
+    # its known structure (header/counters/footer framing is stable), so
+    # read it with a warning instead of refusing — unknown event kinds
+    # are handled downstream.  Anything non-integral is not a trace.
+    if not isinstance(schema, int) or isinstance(schema, bool) or schema < 1:
         raise ValueError(
             f"{path}: schema {schema!r} unsupported (expected {SCHEMA_VERSION})"
+        )
+    if schema > SCHEMA_VERSION:
+        warnings.warn(
+            f"{path}: trace schema {schema} is newer than this reader "
+            f"(schema {SCHEMA_VERSION}); unknown event kinds will be "
+            f"counted but not validated",
+            stacklevel=2,
         )
     if trace.footer and trace.footer.get("events") != len(trace.events):
         raise ValueError(
@@ -121,22 +133,31 @@ def report_from_trace(trace: TraceFile):
     )
 
 
-# Serving-mode events (schema 2) and the fields each must carry; the
-# summarizer hard-fails on a malformed one rather than silently
-# under-counting dropped work.
+# Serving-mode (schema 2) and SLO (schema 3) events with the fields
+# each must carry; the summarizer hard-fails on a malformed one rather
+# than silently under-counting dropped work.
 _SERVE_REQUIRED: dict[str, tuple[str, ...]] = {
     "serve_shed": ("tenant", "batch"),
     "serve_timeout": ("tenant", "batch"),
     "serve_degraded": ("state",),
+    "slo_burn": ("tenant", "state"),
+    "slo_recovered": ("tenant", "state"),
 }
+
+# Known-but-unvalidated kinds in the serve/slo namespaces (no required
+# fields beyond being well-formed JSON).
+_SERVE_KNOWN: tuple[str, ...] = ("serve_reject", "slo_status")
 
 
 def serve_event_counts(trace: TraceFile) -> dict[str, int]:
-    """Validated per-kind counts of the serving-mode events.
+    """Validated per-kind counts of the serving-mode and SLO events.
 
-    Raises ``ValueError`` when an event is missing a required field —
-    a shed/timeout record that cannot be attributed to a tenant and
-    batch is corrupt, not merely incomplete.
+    Raises ``ValueError`` when a *known* event is missing a required
+    field — a shed/timeout record that cannot be attributed to a tenant
+    and batch is corrupt, not merely incomplete.  Events in the
+    ``serve_*``/``slo_*`` namespaces that this reader does not know
+    (traces from newer schemas) are counted but not validated, with a
+    warning — forward compatibility must not turn into a hard failure.
     """
     counts: dict[str, int] = {}
     for kind, required in _SERVE_REQUIRED.items():
@@ -149,7 +170,47 @@ def serve_event_counts(trace: TraceFile) -> dict[str, int]:
                     f"field(s) {missing}: {event}"
                 )
         counts[kind] = len(events)
+    unknown: dict[str, int] = {}
+    for event in trace.events:
+        kind = event.get("kind", "")
+        if (
+            kind.startswith(("serve_", "slo_"))
+            and kind not in _SERVE_REQUIRED
+            and kind not in _SERVE_KNOWN
+        ):
+            unknown[kind] = unknown.get(kind, 0) + 1
+    if unknown:
+        warnings.warn(
+            f"{trace.path}: unknown serve/slo event kind(s) "
+            f"{sorted(unknown)} counted but not validated "
+            f"(newer trace schema?)",
+            stacklevel=2,
+        )
+        counts.update(unknown)
     return counts
+
+
+def slo_summary(trace: TraceFile) -> dict:
+    """Roll the SLO alerting events up for the ``stats`` verb: burn /
+    recovery counts and each tenant's worst observed fast-window burn
+    rate (from ``slo_burn`` escalations, falling back to the final
+    ``slo_status`` snapshot for runs that never alerted)."""
+    burns = trace.events_of("slo_burn")
+    recoveries = trace.events_of("slo_recovered")
+    worst: dict[str, float] = {}
+    for event in burns:
+        tenant = str(event.get("tenant"))
+        rate = float(event.get("burn_fast") or 0.0)
+        worst[tenant] = max(worst.get(tenant, 0.0), rate)
+    for event in trace.events_of("slo_status"):
+        tenant = str(event.get("tenant"))
+        rate = float(event.get("worst_burn") or 0.0)
+        worst[tenant] = max(worst.get(tenant, 0.0), rate)
+    return {
+        "slo_burns": len(burns),
+        "slo_recoveries": len(recoveries),
+        "slo_worst_burn": {t: worst[t] for t in sorted(worst)},
+    }
 
 
 def summarize(trace: TraceFile) -> dict:
@@ -176,6 +237,7 @@ def summarize(trace: TraceFile) -> dict:
     histograms = trace.histograms
     spatial = trace.spatial
     serve_counts = serve_event_counts(trace)
+    slo = slo_summary(trace)
     return {
         "workload": trace.header.get("workload", "?"),
         "policy": trace.header.get("policy", "?"),
@@ -205,6 +267,12 @@ def summarize(trace: TraceFile) -> dict:
         "serve_shed": serve_counts["serve_shed"],
         "serve_timeouts": serve_counts["serve_timeout"],
         "serve_degraded_transitions": serve_counts["serve_degraded"],
+        "slo_burns": slo["slo_burns"],
+        "slo_recoveries": slo["slo_recoveries"],
+        **{
+            f"slo_worst_burn[{tenant}]": rate
+            for tenant, rate in slo["slo_worst_burn"].items()
+        },
         "profile_s": sum(row.get("total_s", 0.0) for row in trace.profile),
     }
 

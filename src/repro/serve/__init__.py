@@ -15,6 +15,7 @@ from repro.serve.admission import (
     REASON_UNKNOWN_TENANT,
     AdmissionController,
     AdmissionDecision,
+    SloAdmissionController,
 )
 from repro.serve.health import DEGRADED, FLAPPING, HEALTHY, HealthMonitor
 from repro.serve.journal import (
@@ -23,12 +24,19 @@ from repro.serve.journal import (
     OUTCOME_TIMEOUT,
     ServeJournal,
 )
+from repro.serve.live import LiveServeServer, parse_listen
 from repro.serve.loop import ServeLoop, ServeOptions
 from repro.serve.report import ServeReport, TenantStats
-from repro.serve.scenario import ServeHarness, ServeScenario, two_tenant_scenario
+from repro.serve.scenario import (
+    ADMISSION_MODES,
+    ServeHarness,
+    ServeScenario,
+    two_tenant_scenario,
+)
 from repro.serve.tenants import Batch, TenantQueue, TenantSpec
 
 __all__ = [
+    "ADMISSION_MODES",
     "AdmissionController",
     "AdmissionDecision",
     "Batch",
@@ -36,6 +44,7 @@ __all__ = [
     "FLAPPING",
     "HEALTHY",
     "HealthMonitor",
+    "LiveServeServer",
     "OUTCOME_COMPLETED",
     "OUTCOME_SHED",
     "OUTCOME_TIMEOUT",
@@ -49,8 +58,10 @@ __all__ = [
     "ServeOptions",
     "ServeReport",
     "ServeScenario",
+    "SloAdmissionController",
     "TenantQueue",
     "TenantSpec",
     "TenantStats",
+    "parse_listen",
     "two_tenant_scenario",
 ]

@@ -65,6 +65,10 @@ class AdmissionController:
             return AdmissionDecision(False, REASON_QUOTA)
         return ADMIT
 
+    def _shed_key(self, queue: TenantQueue) -> tuple:
+        """Victim ordering (min = shed first); overridable by subclasses."""
+        return (queue.spec.priority, -len(queue), queue.spec.name)
+
     def select_shed(self, queues: dict[str, TenantQueue]) -> list[Batch]:
         """Pick and remove the batches to drop to get back under the
         global cap.  Victim order: lowest priority first; within a
@@ -78,10 +82,67 @@ class AdmissionController:
             victims = [q for q in queues.values() if len(q)]
             if not victims:
                 break
-            victim = min(
-                victims,
-                key=lambda q: (q.spec.priority, -len(q), q.spec.name),
-            )
+            victim = min(victims, key=self._shed_key)
             shed.append(victim.batches.pop())
             total -= 1
         return shed
+
+
+class SloAdmissionController(AdmissionController):
+    """Error-budget-aware admission: quotas flex with each tenant's SLO.
+
+    Fixed quotas answer the wrong question under load: a tenant deep in
+    its error budget is *already* missing its objectives, and letting
+    its queue keep growing only adds waiting time to batches that will
+    miss anyway, while a tenant comfortably inside budget is being
+    rejected for no operational reason.  This controller consults the
+    :class:`~repro.obs.slo.SloEngine` per decision:
+
+    * a tenant whose alert state is **OK** may queue up to ``headroom``
+      times its nominal quota (it has budget to spend on the extra
+      waiting time);
+    * a tenant at **WARN** is held to exactly its nominal quota;
+    * a tenant at **PAGE** has its quota tightened by ``tighten`` —
+      a short queue is the fastest way to bring the waiting-time
+      component of its latency back under the objective;
+    * under global overload, *burning tenants are shed first* (before
+      the priority order): their queued batches are the ones whose
+      deadlines and latency bounds are already forfeit.
+
+    Admission stays a pure function of queue + SLO state, so replays
+    shed and reject identically.
+    """
+
+    def __init__(
+        self,
+        default_max_queued: int,
+        max_total_queued: int,
+        slo,
+        headroom: float = 2.0,
+        tighten: float = 0.5,
+    ) -> None:
+        super().__init__(default_max_queued, max_total_queued)
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        if not 0.0 < tighten <= 1.0:
+            raise ValueError("tighten must be in (0, 1]")
+        self.slo = slo
+        self.headroom = headroom
+        self.tighten = tighten
+
+    def quota(self, queue: TenantQueue) -> int:
+        from repro.obs.slo import SLO_OK, SLO_PAGE
+
+        nominal = super().quota(queue)
+        alert = self.slo.tenant_alert(queue.spec.name)
+        if alert == SLO_PAGE:
+            return max(1, int(nominal * self.tighten))
+        if alert == SLO_OK:
+            return int(-(-nominal * self.headroom // 1))  # ceil
+        return nominal
+
+    def _shed_key(self, queue: TenantQueue) -> tuple:
+        from repro.obs.slo import alert_severity
+
+        burn = alert_severity(self.slo.tenant_alert(queue.spec.name))
+        return (-burn, queue.spec.priority, -len(queue), queue.spec.name)

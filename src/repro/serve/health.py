@@ -129,6 +129,16 @@ class HealthMonitor:
         if self.windows and self.windows[-1][1] is None:
             self.windows[-1][1] = epoch
 
+    def windows_view(self) -> list[list[int]]:
+        """The degradation windows as closed pairs *without* mutating
+        anything — an open window is reported as ending now.  The live
+        ``/metrics`` and ``/healthz`` snapshots use this; :meth:`finish`
+        remains the end-of-run closer."""
+        return [
+            [int(a), int(b if b is not None else self._last_epoch + 1)]
+            for a, b in self.windows
+        ]
+
     def finish(self) -> list[list[int]]:
         """Close any open degradation window and return them all."""
         if self.windows and self.windows[-1][1] is None:

@@ -73,6 +73,8 @@ class ServeLoop:
         options: ServeOptions | None = None,
         journal_path=None,
         scenario_key: str = "",
+        admission: AdmissionController | None = None,
+        slo=None,
     ) -> None:
         if not tenants:
             raise ValueError("at least one tenant is required")
@@ -90,7 +92,11 @@ class ServeLoop:
             t.name: TenantStats() for t in tenants
         }
         self.latency = LatencyHistogram()
-        self.admission = AdmissionController(
+        # Both optional hooks default to the pre-SLO behavior: fixed
+        # quota admission and no objective evaluation — a loop built
+        # without them is bit-identical to one predating the SLO layer.
+        self.slo = slo
+        self.admission = admission or AdmissionController(
             self.options.default_max_queued, self.options.max_total_queued
         )
         self.health = HealthMonitor(
@@ -138,6 +144,8 @@ class ServeLoop:
         decision = self.admission.admit(queue)
         if not decision:
             stats.rejected += 1
+            if self.slo is not None:
+                self.slo.on_reject(batch.tenant)
             self.recorder.event(
                 "serve_reject",
                 tenant=batch.tenant,
@@ -169,6 +177,8 @@ class ServeLoop:
         for victim in self.admission.select_shed(self.queues):
             stats = self.stats[victim.tenant]
             stats.shed += 1
+            if self.slo is not None:
+                self.slo.on_shed(victim.tenant)
             self.recorder.event(
                 "serve_shed",
                 tenant=victim.tenant,
@@ -202,6 +212,8 @@ class ServeLoop:
         for batch in sorted(expired, key=lambda b: b.batch_id):
             stats = self.stats[batch.tenant]
             stats.timed_out += 1
+            if self.slo is not None:
+                self.slo.on_timeout(batch.tenant)
             self.recorder.event(
                 "serve_timeout",
                 tenant=batch.tenant,
@@ -252,6 +264,9 @@ class ServeLoop:
             else None
         )
         self.health.observe(step.epoch, step.fault_events, summary)
+        if self.slo is not None:
+            self.slo.on_complete(batch.tenant, latency)
+            self.slo.end_epoch(step.epoch)
         return batch
 
     def run_until_idle(self, max_steps: int | None = None) -> int:
@@ -280,12 +295,42 @@ class ServeLoop:
         self._draining = True
         return self.queued
 
+    def snapshot_report(self, scenario: str = "") -> ServeReport:
+        """A point-in-time :class:`ServeReport` for the live endpoints.
+
+        Unlike :meth:`finish` this closes nothing: the session stays
+        resident, the health monitor keeps its open window, and the
+        loop continues serving afterwards.  ``sim`` is ``None`` — the
+        engine-level report only exists once the session finishes.
+        """
+        summary = (
+            self.engine.fault_state.health_summary()
+            if self.engine.fault_state is not None
+            else None
+        )
+        return ServeReport(
+            scenario=scenario,
+            tenants=self.stats,
+            latency=self.latency,
+            epochs=self.epochs,
+            reconfigs=getattr(self.policy, "applied_reconfigs", 0),
+            health_reconfig_requests=self.health.reconfig_requests,
+            degraded_windows=self.health.windows_view(),
+            final_health=summary,
+            drained_queued=self.queued,
+            resumed_skips=self.resumed_skips,
+            sim=None,
+            slo=self.slo.status() if self.slo is not None else None,
+        )
+
     def finish(self, scenario: str = "") -> ServeReport:
         """Close the session and assemble the :class:`ServeReport`."""
         if self._finished:
             raise RuntimeError("ServeLoop already finished")
         self._finished = True
         drained = self.queued
+        if self.slo is not None:
+            self.slo.emit_status()
         sim = self.session.finish()
         if self.journal is not None:
             self.journal.close()
@@ -306,4 +351,5 @@ class ServeLoop:
             drained_queued=drained,
             resumed_skips=self.resumed_skips,
             sim=sim,
+            slo=self.slo.status() if self.slo is not None else None,
         )

@@ -76,6 +76,9 @@ class ServeReport:
     drained_queued: int = 0
     resumed_skips: int = 0
     sim: SimulationReport | None = None
+    # SloEngine.status() when the run evaluated objectives; None keeps
+    # the JSON byte-identical to pre-SLO reports (the key is omitted).
+    slo: dict | None = None
 
     # -- aggregate views ------------------------------------------------
 
@@ -133,6 +136,7 @@ class ServeReport:
                 "completed": self.completed,
             },
             "sim": self.sim.to_json() if self.sim is not None else None,
+            **({"slo": self.slo} if self.slo is not None else {}),
         }
 
     @classmethod
@@ -159,6 +163,7 @@ class ServeReport:
             drained_queued=int(data.get("drained_queued", 0)),
             resumed_skips=int(data.get("resumed_skips", 0)),
             sim=SimulationReport.from_json(sim) if sim else None,
+            slo=data.get("slo"),
         )
 
     def summary(self) -> str:
@@ -182,4 +187,11 @@ class ServeReport:
                 f"{stats.rejected} rejected, {stats.shed} shed, "
                 f"{stats.timed_out} timed out, p99 {tp['p99']:.0f} ns"
             )
+        if self.slo:
+            for name, tenant in sorted(self.slo.get("tenants", {}).items()):
+                lines.append(
+                    f"  slo {name}: {tenant['alert']}, "
+                    f"budget remaining {tenant['budget_remaining']:.2f}, "
+                    f"worst burn {tenant['worst_burn']:.1f}x"
+                )
         return "\n".join(lines)

@@ -20,7 +20,9 @@ scenario served on different schedules.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,11 +30,15 @@ import numpy as np
 from repro.experiments.runner import POLICIES, PRESETS, SCALES
 from repro.faults import random_schedule
 from repro.obs.recorder import NullRecorder
+from repro.obs.slo import SloEngine, SloObjective, default_objectives
+from repro.serve.admission import SloAdmissionController
 from repro.serve.loop import ServeLoop, ServeOptions
 from repro.serve.report import ServeReport
 from repro.serve.tenants import Batch, TenantSpec
 from repro.sim.engine import EngineOptions, SimulationEngine
 from repro.workloads import SMALL, build
+
+ADMISSION_MODES = ("quota", "slo")
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,12 @@ class ServeScenario:
     # (unit_failures / row_faults / crc_bursts / downtrains), or None.
     faults: dict | None = None
     options: ServeOptions = field(default_factory=ServeOptions)
+    # SLO plane: per-tenant objectives (evaluated whenever non-empty)
+    # and the admission mode — "quota" is the fixed-quota controller,
+    # bit-identical to pre-SLO serving; "slo" flexes quotas and shed
+    # order by error-budget state.
+    admission: str = "quota"
+    objectives: tuple[SloObjective, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -64,30 +76,45 @@ class ServeScenario:
             raise ValueError("wave_size must be >= 1")
         if self.policy not in POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}")
+        if self.admission not in ADMISSION_MODES:
+            raise ValueError(f"unknown admission mode {self.admission!r}")
+        names = {t.name for t in self.tenants}
+        for objective in self.objectives:
+            if objective.tenant not in names:
+                raise ValueError(
+                    f"objective for unknown tenant {objective.tenant!r}"
+                )
 
     def identity_key(self, preset: str) -> str:
         """Stable identity for journal resume: everything that changes
         *which batches exist and what they compute* — not how fast they
         were submitted or when the run was interrupted."""
-        return json.dumps(
-            {
-                "name": self.name,
-                "preset": preset,
-                "workload": self.workload,
-                "policy": self.policy,
-                "seed": self.seed,
-                "batch_accesses": self.batch_accesses,
-                "zipf_s": self.zipf_s,
-                "phase_shift_at": self.phase_shift_at,
-                "max_batches": self.max_batches,
-                "faults": self.faults,
-                "tenants": [
-                    [t.name, t.priority, t.max_queued, t.deadline_ns]
-                    for t in self.tenants
-                ],
-            },
-            sort_keys=True,
-        )
+        ident = {
+            "name": self.name,
+            "preset": preset,
+            "workload": self.workload,
+            "policy": self.policy,
+            "seed": self.seed,
+            "batch_accesses": self.batch_accesses,
+            "zipf_s": self.zipf_s,
+            "phase_shift_at": self.phase_shift_at,
+            "max_batches": self.max_batches,
+            "faults": self.faults,
+            "tenants": [
+                [t.name, t.priority, t.max_queued, t.deadline_ns]
+                for t in self.tenants
+            ],
+        }
+        # SLO state changes which batches reach which outcome, so it is
+        # part of the identity — but only when active, so pre-SLO
+        # journals keep resuming against unchanged keys.
+        if self.admission != "quota" or self.objectives:
+            ident["admission"] = self.admission
+            ident["objectives"] = [
+                [o.tenant, o.p99_ns, o.availability, o.max_shed_rate]
+                for o in self.objectives
+            ]
+        return json.dumps(ident, sort_keys=True)
 
     # ------------------------------------------------------------------
 
@@ -161,6 +188,23 @@ class ServeHarness:
             recorder=recorder,
         )
         self.policy = POLICIES[scenario.policy]()
+        # The SLO plane is built only when asked for: a quota scenario
+        # with no objectives gets the pre-SLO loop, bit for bit.
+        objectives = scenario.objectives
+        if scenario.admission == "slo" and not objectives:
+            objectives = default_objectives(scenario.tenants)
+        self.slo = (
+            SloEngine(objectives, recorder=self.engine.recorder)
+            if objectives
+            else None
+        )
+        admission = None
+        if scenario.admission == "slo":
+            admission = SloAdmissionController(
+                scenario.options.default_max_queued,
+                scenario.options.max_total_queued,
+                self.slo,
+            )
         self.loop = ServeLoop(
             self.engine,
             self.workload,
@@ -169,9 +213,29 @@ class ServeHarness:
             options=scenario.options,
             journal_path=journal_path,
             scenario_key=scenario.identity_key(preset),
+            admission=admission,
+            slo=self.slo,
         )
 
     # ------------------------------------------------------------------
+
+    def make_batch(
+        self, tenant: str, batch_id: int, start: int, stop: int
+    ) -> Batch:
+        """Materialize one batch from its journal-style identity — the
+        live ``/ingest`` endpoint reconstructs traffic through this."""
+        n = len(self.workload.trace)
+        if not 0 <= start < stop <= n:
+            raise ValueError(
+                f"batch [{start}, {stop}) outside trace of {n} accesses"
+            )
+        return Batch(
+            tenant=tenant,
+            batch_id=int(batch_id),
+            trace=self.workload.trace.slice(start, stop),
+            start=start,
+            stop=stop,
+        )
 
     def batches(self) -> list[Batch]:
         """The scenario's full batch list, in submission order."""
@@ -191,10 +255,18 @@ class ServeHarness:
             )
         return out
 
-    def run(self) -> ServeReport:
-        """Replay the scenario: submit in waves, serve, drain, report."""
+    def run(self, pace_s: float = 0.0, lock=None) -> ServeReport:
+        """Replay the scenario: submit in waves, serve, drain, report.
+
+        ``pace_s`` sleeps (wall clock) between waves and ``lock`` is
+        acquired around every loop interaction — together they let a
+        live HTTP endpoint observe a consistent mid-run state while the
+        scripted replay progresses.  Neither affects the simulated
+        clock, so the report is identical at any pace.
+        """
         scenario = self.scenario
         loop = self.loop
+        guard = lock if lock is not None else contextlib.nullcontext()
         submitted = 0
         drained_early = False
         for batch in self.batches():
@@ -204,15 +276,21 @@ class ServeHarness:
             ):
                 drained_early = True
                 break
-            loop.submit(batch)
+            with guard:
+                loop.submit(batch)
             submitted += 1
             if submitted % scenario.wave_size == 0:
-                loop.run_until_idle(max_steps=scenario.steps_per_wave)
+                with guard:
+                    loop.run_until_idle(max_steps=scenario.steps_per_wave)
+                if pace_s > 0:
+                    time.sleep(pace_s)
         if not drained_early:
             # End of traffic: serve out the backlog before shutdown.
-            loop.run_until_idle()
-        loop.drain()
-        return loop.finish(scenario.name)
+            with guard:
+                loop.run_until_idle()
+        with guard:
+            loop.drain()
+            return loop.finish(scenario.name)
 
 
 def two_tenant_scenario(

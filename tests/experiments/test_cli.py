@@ -142,6 +142,62 @@ class TestTraceCommands:
         with pytest.raises(SystemExit):
             main(["stats", str(path), str(path), str(path)])
 
+    def test_serve_slo_end_to_end(self, tmp_path, capsys):
+        """The CI storm recipe through the CLI: SLO admission with
+        explicit objectives writes a schema-3 trace whose burns the
+        stats verb then surfaces."""
+        trace = tmp_path / "serve.jsonl"
+        report = tmp_path / "serve.json"
+        prom = tmp_path / "serve.prom"
+        assert main([
+            "--preset", "tiny", "serve",
+            "--name", "ci-storm", "--storm",
+            "--batch-accesses", "500",
+            "--wave-size", "6", "--steps-per-wave", "3",
+            "--admission", "slo",
+            "--slo", "interactive:12000::0.10",
+            "--slo", "analytics:70000::0.10",
+            "--trace-out", str(trace),
+            "--report-out", str(report),
+            "--prom", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slo" in out.lower()
+
+        payload = json.loads(report.read_text())
+        assert payload["slo"]["tenants"]["analytics"]["alert"] in (
+            "ok", "warn", "page",
+        )
+        assert "repro_slo_alert_state" in prom.read_text()
+
+        parsed = read_trace(str(trace))
+        assert parsed.events_of("slo_burn")
+        assert parsed.events_of("slo_status")
+
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "slo_burns" in out
+        assert "slo_worst_burn[interactive]" in out
+
+    def test_serve_listen_announces_endpoint(self, tmp_path, capsys):
+        assert main([
+            "--preset", "tiny", "serve",
+            "--max-batches", "4",
+            "--listen", "127.0.0.1:0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live endpoint at http://127.0.0.1:" in out
+
+    @pytest.mark.parametrize(
+        "spec", [":123", "a:b:c:d:e", "interactive:not-a-number"]
+    )
+    def test_serve_rejects_bad_slo_specs(self, spec):
+        with pytest.raises(SystemExit):
+            main([
+                "--preset", "tiny", "serve", "--max-batches", "2",
+                "--slo", spec,
+            ])
+
     def test_profile_command(self, tmp_path, capsys):
         perf_path = tmp_path / "prof.json"
         report_path = tmp_path / "bottleneck.json"

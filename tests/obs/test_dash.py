@@ -140,6 +140,82 @@ class TestLoadInput:
             load_input(str(path))
 
 
+SLO_EVENTS = [
+    {"kind": "slo_burn", "tenant": "interactive", "state": "warn",
+     "epoch": 13, "burn_fast": 8.0},
+    {"kind": "slo_burn", "tenant": "interactive", "state": "page",
+     "epoch": 15, "burn_fast": 21.0},
+    {"kind": "slo_recovered", "tenant": "interactive", "state": "ok",
+     "epoch": 22},
+    {"kind": "slo_status", "tenant": "interactive", "alert": "ok",
+     "budget_remaining": 0.4, "worst_burn": 21.0,
+     "budget_history": [[0, 1.0], [15, 0.1], [22, 0.4]]},
+    {"kind": "slo_status", "tenant": "analytics", "alert": "ok",
+     "budget_remaining": 0.9, "worst_burn": 1.2,
+     "budget_history": [[0, 1.0], [22, 0.9]]},
+]
+
+
+class TestSloPanel:
+    def test_panel_renders_bands_burndown_and_rollup(self, recorded):
+        report, _ = recorded
+        html_text = render_dash(report, slo_events=SLO_EVENTS)
+        checker = checked(html_text)
+        assert "SLO error budgets" in html_text
+        # Alert-state bands use the dedicated SLO color tokens.
+        for token in ("var(--slo-ok)", "var(--slo-warn)", "var(--slo-page)"):
+            assert token in html_text, token
+        # Rollup table: both tenants, final alert, burn multiple,
+        # escalation count (two slo_burn events for interactive).
+        assert ">interactive<" in html_text
+        assert ">analytics<" in html_text
+        assert "21.0x" in html_text
+        assert "<td>2</td>" in html_text
+        assert "page from epoch 15" in html_text
+        # One SVG per tenant card on top of the base dashboard's three.
+        assert checker.tags.get("svg", 0) >= 5
+
+    def test_no_slo_events_no_panel(self, recorded):
+        report, _ = recorded
+        html_text = render_dash(report, slo_events=[])
+        checked(html_text)
+        assert "SLO error budgets" not in html_text
+
+    def test_status_only_tenant_still_gets_a_card(self, recorded):
+        """A tenant that never alerted renders from its final status
+        alone — an all-ok band plus the budget line."""
+        report, _ = recorded
+        html_text = render_dash(
+            report, slo_events=[e for e in SLO_EVENTS if e["tenant"] == "analytics"]
+        )
+        checked(html_text)
+        assert ">analytics<" in html_text
+        assert "0.90" in html_text
+
+
+class TestLoadSloEvents:
+    def test_pulls_slo_events_from_trace(self, tmp_path):
+        from repro.obs.dash import load_slo_events
+
+        rec = Recorder(workload="pr", policy="ndpext")
+        rec.event("epoch", epoch=0)
+        rec.event("slo_burn", tenant="a", state="page", epoch=3)
+        rec.event("slo_status", tenant="a", alert="page",
+                  budget_remaining=-0.2, worst_burn=30.0)
+        path = tmp_path / "t.jsonl"
+        rec.write_jsonl(str(path))
+        events = load_slo_events(str(path))
+        assert [e["kind"] for e in events] == ["slo_burn", "slo_status"]
+
+    def test_report_json_input_yields_no_events(self, recorded, tmp_path):
+        from repro.obs.dash import load_slo_events
+
+        report, _ = recorded
+        path = tmp_path / "r.json"
+        write_json(str(path), report.to_json(include_obs=True))
+        assert load_slo_events(str(path)) == []
+
+
 class TestCli:
     def test_dash_verb_end_to_end(self, recorded, tmp_path, capsys):
         from repro.__main__ import main

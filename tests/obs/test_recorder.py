@@ -142,11 +142,30 @@ class TestReadTrace:
         with pytest.raises(ValueError, match="header"):
             read_trace(str(path))
 
-    def test_rejects_wrong_schema(self, tmp_path):
+    @pytest.mark.parametrize("schema", ['"x"', "null", "0", "-1", "true"])
+    def test_rejects_invalid_schema(self, tmp_path, schema):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"kind": "header", "schema": 999}\n')
+        path.write_text('{"kind": "header", "schema": %s}\n' % schema)
         with pytest.raises(ValueError, match="schema"):
             read_trace(str(path))
+
+    def test_newer_schema_warns_but_reads(self, tmp_path):
+        """Forward compatibility: a trace from a newer recorder is read
+        with a warning (the framing is stable), not refused."""
+        path = tmp_path / "newer.jsonl"
+        path.write_text(
+            '{"kind": "header", "schema": 999}\n'
+            '{"kind": "epoch", "epoch": 0}\n'
+        )
+        with pytest.warns(UserWarning, match="newer"):
+            trace = read_trace(str(path))
+        assert trace.events[0]["epoch"] == 0
+
+    def test_older_schema_reads_silently(self, tmp_path):
+        path = tmp_path / "older.jsonl"
+        path.write_text('{"kind": "header", "schema": 1}\n')
+        trace = read_trace(str(path))
+        assert trace.header["schema"] == 1
 
     def test_rejects_truncated_trace(self, tmp_path):
         rec = Recorder()

@@ -19,8 +19,8 @@ def _trace_with(tmp_path, events):
 
 
 class TestServeEventCounts:
-    def test_schema_was_bumped_for_serve_events(self):
-        assert SCHEMA_VERSION == 2
+    def test_schema_was_bumped_for_slo_events(self):
+        assert SCHEMA_VERSION == 3
 
     def test_counts_well_formed_events(self, tmp_path):
         trace = _trace_with(
@@ -30,6 +30,8 @@ class TestServeEventCounts:
                 ("serve_shed", {"tenant": "b", "batch": 2, "priority": 1}),
                 ("serve_timeout", {"tenant": "a", "batch": 3}),
                 ("serve_degraded", {"state": "degraded"}),
+                ("slo_burn", {"tenant": "a", "state": "page", "epoch": 4}),
+                ("slo_recovered", {"tenant": "a", "state": "ok", "epoch": 9}),
                 ("epoch", {"epoch": 0}),  # unrelated kinds are ignored
             ],
         )
@@ -37,7 +39,26 @@ class TestServeEventCounts:
             "serve_shed": 2,
             "serve_timeout": 1,
             "serve_degraded": 1,
+            "slo_burn": 1,
+            "slo_recovered": 1,
         }
+
+    def test_unknown_serve_kind_warns_and_counts(self, tmp_path):
+        """Forward compatibility: a serve_*/slo_* kind this reader does
+        not know (from a newer schema) is counted, not a hard failure."""
+        trace = _trace_with(
+            tmp_path,
+            [
+                ("serve_shed", {"tenant": "a", "batch": 1}),
+                ("slo_exotic_future_kind", {"tenant": "a"}),
+                ("serve_novel", {"whatever": 1}),
+            ],
+        )
+        with pytest.warns(UserWarning, match="unknown serve/slo"):
+            counts = serve_event_counts(trace)
+        assert counts["serve_shed"] == 1
+        assert counts["slo_exotic_future_kind"] == 1
+        assert counts["serve_novel"] == 1
 
     def test_summarize_reports_serve_counters(self, tmp_path):
         trace = _trace_with(
@@ -58,6 +79,8 @@ class TestServeEventCounts:
             ("serve_shed", {"tenant": "a"}),  # missing batch
             ("serve_timeout", {"batch": 1}),  # missing tenant
             ("serve_degraded", {"epoch": 3}),  # missing state
+            ("slo_burn", {"tenant": "a"}),  # missing state
+            ("slo_recovered", {"state": "ok"}),  # missing tenant
         ],
     )
     def test_malformed_event_hard_fails(self, tmp_path, kind, fields):
@@ -70,6 +93,30 @@ class TestServeEventCounts:
         summary = summarize(trace)
         assert summary["serve_shed"] == 0
         assert summary["serve_degraded_transitions"] == 0
+        assert summary["slo_burns"] == 0
+        assert summary["slo_recoveries"] == 0
+
+    def test_summarize_reports_slo_burns_and_worst_burn(self, tmp_path):
+        trace = _trace_with(
+            tmp_path,
+            [
+                ("slo_burn", {"tenant": "a", "state": "warn", "epoch": 3,
+                              "burn_fast": 8.0}),
+                ("slo_burn", {"tenant": "a", "state": "page", "epoch": 5,
+                              "burn_fast": 20.0}),
+                ("slo_burn", {"tenant": "b", "state": "warn", "epoch": 6,
+                              "burn_fast": 7.5}),
+                ("slo_recovered", {"tenant": "a", "state": "ok", "epoch": 12}),
+                ("slo_status", {"tenant": "c", "worst_burn": 3.0}),
+            ],
+        )
+        summary = summarize(trace)
+        assert summary["slo_burns"] == 3
+        assert summary["slo_recoveries"] == 1
+        assert summary["slo_worst_burn[a]"] == 20.0
+        assert summary["slo_worst_burn[b]"] == 7.5
+        # Tenants that never alerted still report via the final status.
+        assert summary["slo_worst_burn[c]"] == 3.0
 
 
 def _report():

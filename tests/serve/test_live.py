@@ -1,0 +1,364 @@
+"""The live telemetry plane: /metrics validity, health, and the
+ingest-equivalence acceptance contract.
+
+Two load-bearing guarantees from the SLO PR:
+
+* ``GET /metrics`` mid-run or post-run is valid Prometheus text
+  (every line parses, histograms stay cumulative) and scraping it
+  concurrently never perturbs the replayed result.
+* ``POST /ingest`` driving the same batch identities through HTTP
+  reproduces the scripted scenario's report bit for bit.
+"""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.slo import SloObjective
+from repro.serve import LiveServeServer, ServeHarness, parse_listen
+from repro.serve.scenario import two_tenant_scenario
+
+# Same grammar the exporter tests pin (tests/obs/test_export.py).
+METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN))$"
+)
+COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+STORM = {
+    "unit_failures": 1,
+    "row_faults": 1,
+    "crc_bursts": 1,
+    "downtrains": 1,
+}
+
+
+def storm_scenario(**overrides):
+    return two_tenant_scenario(
+        name="live-storm",
+        batch_accesses=500,
+        wave_size=6,
+        steps_per_wave=3,
+        faults=STORM,
+        admission="slo",
+        objectives=(
+            SloObjective("analytics", p99_ns=70_000.0, max_shed_rate=0.10),
+        ),
+        **overrides,
+    )
+
+
+def http(server, path, payload=None, method=None):
+    """One request against the live server; returns (status, headers,
+    parsed-or-raw body). Error statuses come back, not raised."""
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        server.url + path, data=data, method=method
+    )
+    try:
+        resp = urllib.request.urlopen(req, timeout=10)
+    except urllib.error.HTTPError as err:
+        resp = err
+    body = resp.read()
+    ctype = resp.headers.get("Content-Type", "")
+    if ctype.startswith("application/json"):
+        return resp.status, resp.headers, json.loads(body)
+    return resp.status, resp.headers, body.decode()
+
+
+class TestParseListen:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("127.0.0.1:9090", ("127.0.0.1", 9090)),
+            ("0.0.0.0:80", ("0.0.0.0", 80)),
+            (":9309", ("127.0.0.1", 9309)),
+            (":0", ("127.0.0.1", 0)),
+        ],
+    )
+    def test_accepts(self, spec, expected):
+        assert parse_listen(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "host:", "host:nope", ":70000"])
+    def test_rejects(self, spec):
+        with pytest.raises(ValueError, match="listen spec"):
+            parse_listen(spec)
+
+
+@pytest.fixture(scope="module")
+def finished():
+    """A storm run completed with the live endpoint attached; the
+    server keeps answering from the frozen final report."""
+    harness = ServeHarness(storm_scenario(), preset="tiny")
+    server = LiveServeServer(
+        harness.loop,
+        make_batch=harness.make_batch,
+        scenario=harness.scenario.name,
+        port=0,
+        extra_labels={"preset": "tiny"},
+    ).start()
+    report = harness.run(lock=server.lock)
+    server.set_final(report)
+    yield server, report
+    server.close()
+
+
+class TestMetricsEndpoint:
+    def test_every_line_is_valid_prometheus(self, finished):
+        server, _ = finished
+        status, headers, text = http(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        for line in text.strip().splitlines():
+            assert METRIC_LINE.match(line) or COMMENT_LINE.match(line), line
+
+    def test_serve_and_slo_series_present(self, finished):
+        server, _ = finished
+        _, _, text = http(server, "/metrics")
+        for needle in (
+            "repro_serve_batches_total",
+            'preset="tiny"',
+            "repro_slo_alert_state",
+            "repro_slo_budget_remaining",
+            "repro_slo_burn_rate",
+            'tenant="analytics"',
+        ):
+            assert needle in text, needle
+
+    def test_latency_buckets_cumulative_and_capped(self, finished):
+        server, report = finished
+        _, _, text = http(server, "/metrics")
+        rows = re.findall(
+            r'repro_serve_batch_latency_ns_bucket\{[^}]*tenant="all"'
+            r'[^}]*le="([^"]+)"\} (\d+)',
+            text,
+        )
+        assert rows, "no aggregate latency buckets exported"
+        counts = [int(count) for _, count in rows]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert rows[-1][0] == "+Inf"
+        assert counts[-1] == report.latency.n
+
+
+class TestStatusEndpoints:
+    def test_healthz_reports_finished_run(self, finished):
+        server, report = finished
+        status, _, payload = http(server, "/healthz")
+        assert status == 200  # HEALTHY/DEGRADED serve 200; FLAPPING 503
+        assert payload["finished"] is True
+        assert payload["epochs"] == report.epochs
+        assert payload["queued"] == 0
+        assert isinstance(payload["degraded_windows"], list)
+
+    def test_slo_status_json(self, finished):
+        server, report = finished
+        status, _, payload = http(server, "/slo")
+        assert status == 200
+        analytics = payload["tenants"]["analytics"]
+        assert analytics["alert"] in ("ok", "warn", "page")
+        assert "latency_p99" in analytics["objectives"]
+        assert payload == report.slo
+
+    def test_report_endpoint_matches_final_report(self, finished):
+        server, report = finished
+        status, _, payload = http(server, "/report")
+        assert status == 200
+        assert payload == json.loads(
+            json.dumps(report.to_json(), allow_nan=False)
+        )
+
+    def test_unknown_paths_404(self, finished):
+        server, _ = finished
+        for path, method in (("/nope", None), ("/nope", "POST")):
+            status, _, payload = http(server, path, method=method)
+            assert status == 404
+            assert "unknown path" in payload["error"]
+
+    def test_finished_loop_refuses_mutation(self, finished):
+        server, _ = finished
+        for path in ("/drain", "/finish"):
+            status, _, payload = http(server, path, payload={})
+            assert status == 409, path
+            assert "finished" in payload["error"]
+        status, _, payload = http(
+            server,
+            "/ingest",
+            payload={
+                "batches": [
+                    {"tenant": "interactive", "batch_id": 0,
+                     "start": 0, "stop": 100}
+                ]
+            },
+        )
+        assert status == 409
+
+
+class TestConcurrentScrapes:
+    def test_scraping_mid_run_does_not_perturb_the_report(self):
+        """The determinism contract: a scripted run hammered by live
+        scrapes produces the same report as one with no server at all."""
+        reference = ServeHarness(storm_scenario(), preset="tiny").run()
+
+        harness = ServeHarness(storm_scenario(), preset="tiny")
+        with LiveServeServer(
+            harness.loop, scenario=harness.scenario.name, port=0
+        ) as server:
+            stop = threading.Event()
+            errors = []
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        for path in ("/metrics", "/healthz", "/slo"):
+                            http(server, path)
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+            scraper = threading.Thread(target=hammer, daemon=True)
+            scraper.start()
+            try:
+                report = harness.run(lock=server.lock)
+            finally:
+                stop.set()
+                scraper.join(timeout=10)
+            server.set_final(report)
+        assert not errors
+        assert report.to_json() == reference.to_json()
+
+
+class TestIngest:
+    def _fresh(self):
+        harness = ServeHarness(storm_scenario(), preset="tiny")
+        server = LiveServeServer(
+            harness.loop,
+            make_batch=harness.make_batch,
+            scenario=harness.scenario.name,
+            port=0,
+        ).start()
+        return harness, server
+
+    def test_ingest_driven_run_reproduces_scripted_report(self):
+        """The acceptance criterion: replaying the scenario's batch
+        identities over HTTP — same waves, same step budgets — yields a
+        bit-identical ServeReport."""
+        scenario = storm_scenario()
+        reference = ServeHarness(scenario, preset="tiny").run()
+
+        harness, server = self._fresh()
+        try:
+            specs = [
+                {
+                    "tenant": b.tenant,
+                    "batch_id": b.batch_id,
+                    "start": b.start,
+                    "stop": b.stop,
+                }
+                for b in harness.batches()
+            ]
+            wave = scenario.wave_size
+            for i in range(0, len(specs), wave):
+                chunk = specs[i : i + wave]
+                body = {"batches": chunk}
+                if len(chunk) == wave:  # full wave gets its step budget
+                    body["steps"] = scenario.steps_per_wave
+                status, _, payload = http(server, "/ingest", payload=body)
+                assert status == 200
+                assert len(payload["decisions"]) == len(chunk)
+            # End of traffic: drain the backlog fully, then finish.
+            status, _, _ = http(
+                server, "/ingest", payload={"batches": [], "steps": None}
+            )
+            assert status == 200
+            status, _, drained = http(server, "/drain", payload={})
+            assert status == 200
+            status, _, final = http(
+                server, "/finish", payload={"scenario": scenario.name}
+            )
+            assert status == 200
+            # The frozen report keeps serving after /finish.
+            status, _, again = http(server, "/report")
+            assert again == final
+        finally:
+            server.close()
+        assert final == json.loads(
+            json.dumps(reference.to_json(), allow_nan=False)
+        )
+
+    def test_ingest_reports_admission_decisions(self):
+        harness, server = self._fresh()
+        try:
+            status, _, payload = http(
+                server,
+                "/ingest",
+                payload={
+                    "batches": [
+                        {"tenant": "interactive", "batch_id": 7,
+                         "start": 0, "stop": 500}
+                    ]
+                },
+            )
+            assert status == 200
+            (decision,) = payload["decisions"]
+            assert decision["tenant"] == "interactive"
+            assert decision["batch_id"] == 7
+            assert decision["admitted"] is True
+            assert payload["queued"] == 1
+            assert payload["steps"] == 0  # no "steps" key -> submit-only
+        finally:
+            server.close()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"tenant": "interactive"},  # missing identity fields
+            {"tenant": "interactive", "batch_id": 0,
+             "start": 500, "stop": 100},  # inverted slice
+            {"tenant": "interactive", "batch_id": 0,
+             "start": 0, "stop": 10**9},  # past end of trace
+        ],
+    )
+    def test_bad_batch_specs_400(self, spec):
+        harness, server = self._fresh()
+        try:
+            status, _, payload = http(
+                server, "/ingest", payload={"batches": [spec]}
+            )
+            assert status == 400
+            assert "bad batch spec" in payload["error"]
+        finally:
+            server.close()
+
+    def test_malformed_bodies_400(self):
+        harness, server = self._fresh()
+        try:
+            status, _, payload = http(
+                server, "/ingest", payload={"batches": "nope"}
+            )
+            assert status == 400
+            req = urllib.request.Request(
+                server.url + "/ingest", data=b"not json", method="POST"
+            )
+            try:
+                resp = urllib.request.urlopen(req, timeout=10)
+            except urllib.error.HTTPError as err:
+                resp = err
+            assert resp.status == 400
+        finally:
+            server.close()
+
+    def test_ingest_without_workload_501(self):
+        harness = ServeHarness(storm_scenario(), preset="tiny")
+        with LiveServeServer(harness.loop, port=0) as server:
+            status, _, payload = http(
+                server, "/ingest", payload={"batches": []}
+            )
+            assert status == 501
